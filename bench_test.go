@@ -1,0 +1,224 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure).
+// Each benchmark runs the corresponding experiment's core workload at
+// small scale per iteration; the full tables come from cmd/kimbap-bench.
+package kimbap_test
+
+import (
+	"io"
+	"testing"
+
+	"kimbap/internal/algorithms"
+	"kimbap/internal/baselines/galois"
+	"kimbap/internal/baselines/gluon"
+	"kimbap/internal/bench"
+	"kimbap/internal/compiler"
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/kvstore"
+	"kimbap/internal/npm"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+var benchCfg = bench.Config{Scale: bench.Small, Threads: 4, Reps: 1}
+
+// road and social are the two medium-graph classes every figure sweeps.
+var (
+	roadG   = gen.BuildSmall(gen.RoadEurope)
+	socialG = gen.BuildSmall(gen.Friendster)
+	webG    = gen.BuildSmall(gen.Clueweb12)
+)
+
+// BenchmarkTable1Stats measures graph generation and the Table 1
+// statistics pass.
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := gen.Grid(64, 64, true, int64(i))
+		s := g.ComputeStats()
+		if s.Nodes == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkTable2Registry renders the operator-class table.
+func BenchmarkTable2Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchCfg.Table2(io.Discard)
+	}
+}
+
+// Table 3: Galois (1 host) vs Kimbap. One benchmark per side of the
+// comparison on the workload where the paper's contrast is sharpest
+// (CC-SV on the high-diameter road graph).
+func BenchmarkTable3GaloisCCSV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		galois.CCSV(roadG, 4)
+	}
+}
+
+func BenchmarkTable3KimbapCCSV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCC(b, roadG, 1, algorithms.Config{}, algorithms.CCSV)
+	}
+}
+
+// Figure 9 panels (medium graphs, strong scaling): one benchmark per
+// application at the sweep's 2-host point.
+func BenchmarkFig9aLouvain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := algorithms.Louvain(socialG, runtime.Config{NumHosts: 2, ThreadsPerHost: 4},
+			algorithms.Config{}, algorithms.CDOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9aVite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := algorithms.Louvain(socialG, runtime.Config{NumHosts: 2, ThreadsPerHost: 4},
+			algorithms.Config{Variant: npm.Vite},
+			algorithms.CDOptions{EarlyTermination: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9bLeiden(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := algorithms.Leiden(socialG, runtime.Config{NumHosts: 2, ThreadsPerHost: 4},
+			algorithms.Config{}, algorithms.CDOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9cCCSV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCC(b, roadG, 2, algorithms.Config{}, algorithms.CCSV)
+	}
+}
+
+func BenchmarkFig9cCCLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCC(b, roadG, 2, algorithms.Config{}, algorithms.CCLP)
+	}
+}
+
+func BenchmarkFig9cCCSCLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCC(b, roadG, 2, algorithms.Config{}, algorithms.CCSCLP)
+	}
+}
+
+func BenchmarkFig9cGluonLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gluon.CCLP(roadG, runtime.Config{
+			NumHosts: 2, ThreadsPerHost: 4, Policy: partition.CVC,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9dMSF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := make([]graph.NodeID, roadG.NumNodes())
+		runSPMD(b, roadG, 2, partition.CVC, func(h *runtime.Host) {
+			algorithms.MSF(h, algorithms.Config{}, out)
+		})
+	}
+}
+
+func BenchmarkFig9eMIS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := make([]bool, socialG.NumNodes())
+		runSPMD(b, socialG, 2, partition.CVC, func(h *runtime.Host) {
+			algorithms.MIS(h, algorithms.Config{}, out)
+		})
+	}
+}
+
+// Figure 10 (large graphs): CC-SV on the clueweb12 analogue at 4 hosts.
+func BenchmarkFig10CCSVLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCC(b, webG, 4, algorithms.Config{}, algorithms.CCSV)
+	}
+}
+
+func BenchmarkFig10LouvainLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := algorithms.Louvain(webG, runtime.Config{NumHosts: 4, ThreadsPerHost: 4},
+			algorithms.Config{}, algorithms.CDOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 11 (runtime-variant ablation): CC-SV under each node-property
+// map variant at 2 hosts on the road graph, where the paper reports the
+// largest CF gains.
+func BenchmarkFig11FullVariant(b *testing.B)  { benchVariant(b, npm.Full) }
+func BenchmarkFig11SGRCFVariant(b *testing.B) { benchVariant(b, npm.SGRCF) }
+func BenchmarkFig11SGROnly(b *testing.B)      { benchVariant(b, npm.SGROnly) }
+func BenchmarkFig11Vite(b *testing.B)         { benchVariant(b, npm.Vite) }
+func BenchmarkFig11Memcached(b *testing.B)    { benchVariant(b, npm.MC) }
+
+func benchVariant(b *testing.B, v npm.Variant) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := algorithms.Config{Variant: v}
+		if v == npm.MC {
+			cfg.Store = kvstore.NewCluster(2, 2)
+		}
+		runCC(b, roadG, 2, cfg, algorithms.CCSV)
+	}
+}
+
+// Figure 12 (compiler optimizations): compiled CC-LP with and without the
+// §5.2 optimizations.
+func BenchmarkFig12CCLPOpt(b *testing.B)   { benchCompiled(b, true) }
+func BenchmarkFig12CCLPNoOpt(b *testing.B) { benchCompiled(b, false) }
+
+func benchCompiled(b *testing.B, optimize bool) {
+	b.Helper()
+	plan, err := compiler.Compile(compiler.CCLPProgram(), compiler.Options{Optimize: optimize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSPMD(b, roadG, 2, partition.OEC, func(h *runtime.Host) {
+			compiler.NewExec(h, plan, compiler.ExecConfig{}).Run()
+		})
+	}
+}
+
+// §4.2 read-locality measurement.
+func BenchmarkReadLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchCfg.ReadLocality(io.Discard)
+	}
+}
+
+// --- helpers ---
+
+func runCC(b *testing.B, g *graph.Graph, hosts int, cfg algorithms.Config,
+	algo func(h *runtime.Host, cfg algorithms.Config, out []graph.NodeID) algorithms.CCStats) {
+	b.Helper()
+	out := make([]graph.NodeID, g.NumNodes())
+	runSPMD(b, g, hosts, partition.CVC, func(h *runtime.Host) { algo(h, cfg, out) })
+}
+
+func runSPMD(b *testing.B, g *graph.Graph, hosts int, pol partition.Policy,
+	prog func(h *runtime.Host)) {
+	b.Helper()
+	c, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: hosts, ThreadsPerHost: 4, Policy: pol,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(prog)
+}

@@ -1,0 +1,59 @@
+// Command kimbap-bench regenerates the paper's evaluation tables and
+// figures (§6) on the simulated cluster.
+//
+//	kimbap-bench -exp all -scale small          # quick pass over everything
+//	kimbap-bench -exp fig11 -scale full -reps 3 # the §6.4 ablation
+//
+// Experiments: table1, table2, table3, fig9, fig10, fig11, fig12,
+// readlocality — or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kimbap/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment name or 'all'")
+		scale   = flag.String("scale", "small", "workload scale: small or full")
+		threads = flag.Int("threads", 4, "worker threads per simulated host")
+		reps    = flag.Int("reps", 1, "timing repetitions (fastest kept)")
+		outPath = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kimbap-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := bench.Config{
+		Scale:   bench.Scale(*scale),
+		Threads: *threads,
+		Reps:    *reps,
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Experiments
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := bench.Run(w, name, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "kimbap-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,23 @@
+// Package kimbap is a from-scratch Go reproduction of Kimbap (Lee,
+// Dathathri, Pingali — ASPLOS '24): a node-property map system for
+// distributed graph analytics that supports general vertex-centric
+// programs, including trans-vertex operators that read and reduce
+// properties of arbitrary nodes.
+//
+// The implementation lives under internal/:
+//
+//   - internal/npm — the paper's core contribution: the distributed,
+//     concurrent node-property map with graph-partition-aware
+//     representation, conflict-free thread-local reductions, and
+//     scatter-gather-reduce synchronization, plus the ablation variants.
+//   - internal/runtime, internal/comm, internal/partition — the simulated
+//     multi-host cluster substrate.
+//   - internal/compiler — the Kimbap compiler: CFG/dominance analysis,
+//     operator splitting, request insertion, and the §5.2 optimizations.
+//   - internal/algorithms — the seven evaluation algorithms.
+//   - internal/baselines — Vite, Gluon, and Galois reimplementations.
+//   - internal/bench — the harness regenerating every table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for measured-vs-paper results.
+package kimbap

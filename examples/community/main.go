@@ -1,0 +1,69 @@
+// Community detection: the paper's motivating application. Louvain and
+// Leiden are trans-vertex algorithms — each node reads and reduces the
+// aggregate properties of dynamically chosen communities, stored on
+// representative nodes — so they cannot be written in adjacent-vertex
+// frameworks like Gemini or Gluon.
+//
+// This example plants a known community structure, recovers it with both
+// algorithms on a simulated cluster, and compares their quality against
+// each other and the Vite baseline.
+//
+//	go run ./examples/community
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kimbap/internal/algorithms"
+	"kimbap/internal/baselines/vite"
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/runtime"
+)
+
+func main() {
+	// 12 planted communities of 80 nodes with sparse inter-community
+	// edges: ground-truth modularity is high and recoverable.
+	g := gen.Communities(12, 80, 6, 1, true, 99)
+	truth := make([]graph.NodeID, g.NumNodes())
+	for i := range truth {
+		truth[i] = graph.NodeID(i / 80)
+	}
+	fmt.Printf("input graph: %s\n", g.ComputeStats())
+	fmt.Printf("planted-partition modularity: %.4f\n", graph.Modularity(g, truth))
+
+	ccfg := runtime.Config{NumHosts: 4, ThreadsPerHost: 4}
+
+	lv, err := algorithms.Louvain(g, ccfg, algorithms.Config{}, algorithms.CDOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Kimbap Louvain:  Q=%.4f  levels=%d rounds=%d  compute=%v comm=%v\n",
+		lv.Modularity, lv.Levels, lv.Rounds, lv.Compute, lv.Comm)
+
+	ld, err := algorithms.Leiden(g, ccfg, algorithms.Config{}, algorithms.CDOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Kimbap Leiden:   Q=%.4f  levels=%d rounds=%d  compute=%v comm=%v\n",
+		ld.Modularity, ld.Levels, ld.Rounds, ld.Compute, ld.Comm)
+
+	vt, err := vite.Louvain(g, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Vite baseline:   Q=%.4f  levels=%d rounds=%d\n",
+		vt.Modularity, vt.Levels, vt.Rounds)
+
+	fmt.Printf("\ncommunities found: LV=%d LD=%d (planted: 12)\n",
+		distinct(lv.Assignment), distinct(ld.Assignment))
+}
+
+func distinct(a []graph.NodeID) int {
+	seen := map[graph.NodeID]struct{}{}
+	for _, v := range a {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}

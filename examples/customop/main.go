@@ -1,0 +1,106 @@
+// Custom operator: writing a new vertex program against the compiler IR
+// and running it through the full compile-and-execute pipeline.
+//
+// The program computes, for every node, the maximum node ID reachable
+// within two hops — a trans-vertex operator: the second hop reads the
+// property of a dynamically computed node (the current best), which
+// adjacent-vertex frameworks cannot express. The compiler splits the
+// operator, inserts the required Request/RequestSync phases, and pins
+// mirrors where the reads are adjacent (§5).
+//
+//	go run ./examples/customop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kimbap/internal/compiler"
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+func main() {
+	// The program: "best" starts as each node's own ID; each round every
+	// node raises its best to (a) its neighbors' bests (adjacent) and (b)
+	// the best of the node its current best names (trans-vertex pointer
+	// chase). At quiescence best[n] is the maximum ID in n's component.
+	prog := &compiler.Program{
+		Name: "max-reach",
+		Maps: []compiler.MapDecl{{Name: "best", Kind: compiler.MaxMap, InitToID: true}},
+		Loops: []compiler.Loop{{
+			Quiesce: "best",
+			Body: []compiler.Stmt{
+				compiler.Read{Dst: "mine", Map: "best", Key: compiler.Active{}},
+				compiler.ForEdges{Body: []compiler.Stmt{
+					compiler.Read{Dst: "theirs", Map: "best", Key: compiler.EdgeDst{}},
+					compiler.If{
+						Cond: compiler.Cond{Op: compiler.Gt, L: compiler.Var{Name: "theirs"}, R: compiler.Var{Name: "mine"}},
+						Then: []compiler.Stmt{
+							compiler.Reduce{Map: "best", Key: compiler.Active{}, Val: compiler.Var{Name: "theirs"}},
+						},
+					},
+				}},
+				// The pointer chase: read best[best[n]] — a trans-vertex
+				// access the compiler must request.
+				compiler.Read{Dst: "chased", Map: "best", Key: compiler.Var{Name: "mine"}},
+				compiler.If{
+					Cond: compiler.Cond{Op: compiler.Gt, L: compiler.Var{Name: "chased"}, R: compiler.Var{Name: "mine"}},
+					Then: []compiler.Stmt{
+						compiler.Reduce{Map: "best", Key: compiler.Active{}, Val: compiler.Var{Name: "chased"}},
+					},
+				},
+			},
+		}},
+	}
+
+	plan, err := compiler.Compile(prog, compiler.Options{Optimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lp := plan.Loops[0]
+	fmt.Printf("compiled %q: pinned maps=%v, request phases=%d, masters-only=%v\n",
+		prog.Name, lp.PinMaps, len(lp.RequestOps), lp.MastersOnly)
+
+	g := gen.RMAT(9, 4, false, 11)
+	fmt.Printf("input graph: %s\n", g.ComputeStats())
+	cluster, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: 3, ThreadsPerHost: 4, Policy: partition.OEC,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	out := make([]graph.NodeID, g.NumNodes())
+	cluster.Run(func(h *runtime.Host) {
+		e := compiler.NewExec(h, plan, compiler.ExecConfig{})
+		e.Run()
+		m := e.Map("best")
+		lo, hi := h.HP.MasterRangeGlobal()
+		for n := lo; n < hi; n++ {
+			m.Request(n)
+		}
+		m.RequestSync()
+		for n := lo; n < hi; n++ {
+			out[n] = m.Read(n)
+		}
+	})
+
+	// Verify: best[n] must equal the max node ID in n's component.
+	comps := graph.ReferenceComponents(g)
+	maxIn := map[graph.NodeID]graph.NodeID{}
+	for i, c := range comps {
+		if graph.NodeID(i) > maxIn[c] {
+			maxIn[c] = graph.NodeID(i)
+		}
+	}
+	for i, c := range comps {
+		if out[i] != maxIn[c] {
+			log.Fatalf("node %d: best=%d, want %d", i, out[i], maxIn[c])
+		}
+	}
+	fmt.Println("verified: every node found its component's maximum ID")
+}

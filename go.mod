@@ -1,0 +1,3 @@
+module kimbap
+
+go 1.23

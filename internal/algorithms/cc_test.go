@@ -1,0 +1,173 @@
+package algorithms
+
+import (
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/kvstore"
+	"kimbap/internal/npm"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+// runCC executes one of the CC algorithms on a fresh cluster and returns
+// the assembled global labels.
+func runCC(t *testing.T, g *graph.Graph, hosts int, pol partition.Policy, cfg Config,
+	algo func(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats) []graph.NodeID {
+	t.Helper()
+	c, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: hosts, ThreadsPerHost: 3, Policy: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if cfg.Variant == npm.MC && cfg.Store == nil {
+		cfg.Store = kvstore.NewCluster(hosts, hosts)
+	}
+	out := make([]graph.NodeID, g.NumNodes())
+	c.Run(func(h *runtime.Host) { algo(h, cfg, out) })
+	return out
+}
+
+func checkLabels(t *testing.T, g *graph.Graph, got []graph.NodeID, name string) {
+	t.Helper()
+	want := graph.ReferenceComponents(g)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: node %d labeled %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+func ccAlgos() map[string]func(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
+	return map[string]func(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats{
+		"CC-SV":   CCSV,
+		"CC-LP":   CCLP,
+		"CC-SCLP": CCSCLP,
+	}
+}
+
+func TestCCAlgorithmsMatchReference(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid":  gen.Grid(10, 10, false, 1),
+		"rmat":  gen.RMAT(8, 6, false, 2),
+		"chain": gen.Chain(64, false, 3),
+		"er":    gen.ErdosRenyi(150, 120, false, 4), // likely several components
+	}
+	for gname, g := range graphs {
+		for aname, algo := range ccAlgos() {
+			for _, hosts := range []int{1, 2, 4} {
+				got := runCC(t, g, hosts, partition.CVC, Config{}, algo)
+				t.Run(gname+"/"+aname, func(t *testing.T) {
+					checkLabels(t, g, got, aname)
+				})
+			}
+		}
+	}
+}
+
+func TestCCAllPolicies(t *testing.T) {
+	g := gen.RMAT(7, 4, false, 5)
+	for _, pol := range partition.Policies {
+		got := runCC(t, g, 3, pol, Config{}, CCSV)
+		checkLabels(t, g, got, "CC-SV/"+string(pol))
+	}
+}
+
+func TestCCSVAllVariants(t *testing.T) {
+	g := gen.Grid(8, 8, false, 1)
+	for _, v := range npm.Variants {
+		t.Run(string(v), func(t *testing.T) {
+			got := runCC(t, g, 3, partition.CVC, Config{Variant: v}, CCSV)
+			checkLabels(t, g, got, "CC-SV")
+		})
+	}
+}
+
+func TestCCLPAllVariants(t *testing.T) {
+	g := gen.Grid(6, 6, false, 1)
+	for _, v := range npm.Variants {
+		t.Run(string(v), func(t *testing.T) {
+			got := runCC(t, g, 2, partition.OEC, Config{Variant: v}, CCLP)
+			checkLabels(t, g, got, "CC-LP")
+		})
+	}
+}
+
+func TestCCStatsPopulated(t *testing.T) {
+	g := gen.Chain(100, false, 1)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]graph.NodeID, g.NumNodes())
+	stats := make([]CCStats, 2)
+	c.Run(func(h *runtime.Host) { stats[h.Rank] = CCSV(h, Config{}, out) })
+	if stats[0].HookRounds == 0 || stats[0].ShortcutRounds == 0 {
+		t.Fatalf("stats not populated: %+v", stats[0])
+	}
+	// Pointer jumping should need far fewer rounds than the chain length.
+	if stats[0].OuterRounds > 20 {
+		t.Fatalf("CC-SV took %d outer rounds on a 100-chain", stats[0].OuterRounds)
+	}
+}
+
+func TestCCLPRoundsScaleWithDiameter(t *testing.T) {
+	// LP needs ~diameter rounds; SV pointer jumping needs ~log rounds.
+	g := gen.Chain(128, false, 1)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]graph.NodeID, g.NumNodes())
+	var lp, sv CCStats
+	c.Run(func(h *runtime.Host) {
+		s := CCLP(h, Config{}, out)
+		if h.Rank == 0 {
+			lp = s
+		}
+	})
+	c2, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Run(func(h *runtime.Host) {
+		s := CCSV(h, Config{}, out)
+		if h.Rank == 0 {
+			sv = s
+		}
+	})
+	totalSV := sv.HookRounds + sv.ShortcutRounds
+	if lp.HookRounds <= totalSV {
+		t.Fatalf("expected LP rounds (%d) to exceed SV rounds (%d) on a chain",
+			lp.HookRounds, totalSV)
+	}
+}
+
+func TestTable2Registry(t *testing.T) {
+	if len(Table2) != 7 {
+		t.Fatalf("Table 2 lists 7 applications, got %d", len(Table2))
+	}
+	kinds := map[string]OperatorKind{}
+	for _, k := range Table2 {
+		kinds[k.Name] = k
+	}
+	// Spot-check the paper's rows.
+	if !kinds["LV"].AdjacentVertex || !kinds["LV"].TransVertex {
+		t.Error("LV uses both operator kinds")
+	}
+	if kinds["CC-SV"].AdjacentVertex || !kinds["CC-SV"].TransVertex {
+		t.Error("CC-SV is trans-vertex only")
+	}
+	if !kinds["MIS"].AdjacentVertex || kinds["MIS"].TransVertex {
+		t.Error("MIS is adjacent-vertex only")
+	}
+	if kinds["MSF"].AdjacentVertex || !kinds["MSF"].TransVertex {
+		t.Error("MSF is trans-vertex only")
+	}
+}

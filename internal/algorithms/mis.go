@@ -1,0 +1,190 @@
+package algorithms
+
+import (
+	"math"
+
+	"kimbap/internal/graph"
+	"kimbap/internal/npm"
+	"kimbap/internal/runtime"
+)
+
+// Priority-based maximal independent set (Burtscher et al.), an
+// adjacent-vertex program (Table 2). Each node gets a static priority
+// derived from its global degree; each round a node joins the set when its
+// priority beats every undecided neighbor's, and neighbors of new members
+// drop out.
+//
+// Under vertex-cut partitioning a proxy sees only part of a node's
+// adjacency, so "beats every neighbor" is itself computed with a
+// reduction: every edge location min-reduces the undecided neighbor's
+// priority onto the node, and the master compares against its own
+// priority. The paper's MIS uses two node-property maps (priority and
+// state); the per-round minimum-neighbor-priority map makes a third here.
+
+// Node states, ordered so the max reduction only moves a node forward:
+// undecided -> out -> in. Adjacent nodes can never both enter in one round
+// (priorities are distinct), so in/out conflicts cannot arise.
+const (
+	misUndecided graph.NodeID = 0
+	misOut       graph.NodeID = 1
+	misIn        graph.NodeID = 2
+)
+
+// MISStats reports per-run counters.
+type MISStats struct {
+	Rounds int
+	Size   int64 // members of the independent set
+}
+
+// MIS computes a maximal independent set (SPMD). out[n] is set true for
+// members, filled for this host's master range.
+func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
+	local := h.HP.Local
+
+	// Phase 1: global degrees (local degrees are partial under vertex
+	// cuts), then static priorities: lower score = higher priority;
+	// low-degree nodes win, ties broken by ID, so scores are distinct.
+	degree := cfg.newFloatMap(h, npm.SumFloat64())
+	h.ParForNodes(func(_ int, n graph.NodeID) { degree.Set(h.HP.GlobalID(n), 0) })
+	degree.InitSync()
+	h.TimeCompute(func() {
+		h.ParForNodes(func(tid int, n graph.NodeID) {
+			if d := local.Degree(n); d > 0 {
+				degree.Reduce(tid, h.HP.GlobalID(n), float64(d))
+			}
+		})
+	})
+	degree.ReduceSync()
+
+	prio := cfg.newFloatMap(h, npm.MinFloat64())
+	if cfg.requestActive() {
+		requestLocalProxies(h, degree)
+	}
+	n64 := float64(h.HP.NumGlobalNodes() + 1)
+	h.ParForMasters(func(_ int, n graph.NodeID) {
+		gid := h.HP.GlobalID(n)
+		prio.Set(gid, degree.Read(gid)*n64+float64(gid))
+	})
+	prio.InitSync()
+	prio.PinMirrors()
+
+	state := cfg.newNodeMap(h, npm.MaxNodeID())
+	h.ParForNodes(func(_ int, n graph.NodeID) {
+		state.Set(h.HP.GlobalID(n), misUndecided)
+	})
+	state.InitSync()
+	state.PinMirrors()
+
+	var stats MISStats
+	var remaining runtime.CountReducer
+	for {
+		stats.Rounds++
+
+		// Per-round map: minimum priority among each node's undecided
+		// neighbors, accumulated from every edge location.
+		minNbr := cfg.newFloatMap(h, npm.MinFloat64())
+		h.ParForMasters(func(_ int, n graph.NodeID) {
+			minNbr.Set(h.HP.GlobalID(n), math.Inf(1))
+		})
+		minNbr.InitSync()
+		if cfg.requestActive() {
+			requestLocalProxies(h, state)
+			requestLocalProxies(h, prio)
+		}
+		h.TimeCompute(func() {
+			h.ParForNodes(func(tid int, n graph.NodeID) {
+				gid := h.HP.GlobalID(n)
+				if state.Read(gid) != misUndecided {
+					return
+				}
+				lo, hi := local.EdgeRange(n)
+				for e := lo; e < hi; e++ {
+					dgid := h.HP.GlobalID(local.Dst(e))
+					if dgid != gid && state.Read(dgid) == misUndecided {
+						minNbr.Reduce(tid, gid, prio.Read(dgid))
+					}
+				}
+			})
+		})
+		minNbr.ReduceSync()
+
+		// Decision: an undecided master with priority below all undecided
+		// neighbors joins the set.
+		if cfg.requestActive() {
+			requestLocalProxies(h, state)
+			requestLocalProxies(h, minNbr)
+			requestLocalProxies(h, prio)
+		}
+		state.ResetUpdated()
+		h.TimeCompute(func() {
+			h.ParForMasters(func(tid int, n graph.NodeID) {
+				gid := h.HP.GlobalID(n)
+				if state.Read(gid) != misUndecided {
+					return
+				}
+				if prio.Read(gid) < minNbr.Read(gid) {
+					state.Reduce(tid, gid, misIn)
+				}
+			})
+		})
+		state.ReduceSync()
+		state.BroadcastSync()
+
+		// Knock-out: undecided neighbors of new members drop out.
+		if cfg.requestActive() {
+			requestLocalProxies(h, state)
+		}
+		h.TimeCompute(func() {
+			h.ParForNodes(func(tid int, n graph.NodeID) {
+				gid := h.HP.GlobalID(n)
+				if state.Read(gid) != misIn {
+					return
+				}
+				lo, hi := local.EdgeRange(n)
+				for e := lo; e < hi; e++ {
+					dgid := h.HP.GlobalID(local.Dst(e))
+					if dgid != gid && state.Read(dgid) == misUndecided {
+						state.Reduce(tid, dgid, misOut)
+					}
+				}
+			})
+		})
+		state.ReduceSync()
+		state.BroadcastSync()
+
+		remaining.Set(0)
+		if cfg.requestActive() {
+			requestLocalProxies(h, state)
+		}
+		h.ParForMasters(func(_ int, n graph.NodeID) {
+			if state.Read(h.HP.GlobalID(n)) == misUndecided {
+				remaining.Reduce(1)
+			}
+		})
+		remaining.Sync(h.EP)
+		if remaining.Read() == 0 || stats.Rounds >= cfg.maxRounds() {
+			break
+		}
+	}
+	state.UnpinMirrors()
+	prio.UnpinMirrors()
+
+	var size runtime.CountReducer
+	lo, hi := h.HP.MasterRangeGlobal()
+	for g := lo; g < hi; g++ {
+		state.Request(g)
+	}
+	state.RequestSync()
+	for g := lo; g < hi; g++ {
+		if state.Read(g) == misIn {
+			out[g] = true
+			size.Reduce(1)
+		}
+	}
+	size.Sync(h.EP)
+	stats.Size = size.Read()
+	cfg.recordStats(degree)
+	cfg.recordStats(prio)
+	cfg.recordStats(state)
+	return stats
+}

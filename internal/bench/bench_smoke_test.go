@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSmokeAllExperiments(t *testing.T) {
+	for _, e := range Experiments {
+		var buf bytes.Buffer
+		if err := Run(&buf, e, Config{Scale: Small, Threads: 2}); err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", e)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"testing"
+
+	"kimbap/internal/algorithms"
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/kvstore"
+	"kimbap/internal/npm"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+// Shape tests: the paper's qualitative evaluation claims, asserted through
+// deterministic counters (rounds, messages, bytes, store operations)
+// rather than wall-clock time, so they hold on any hardware.
+
+// §6.2 / Figure 9c: pointer-jumping algorithms need far fewer rounds than
+// label propagation on a high-diameter graph.
+func TestShapePointerJumpingBeatsLPOnHighDiameter(t *testing.T) {
+	g := gen.Grid(24, 24, false, 1) // diameter ~46
+	rounds := func(algo func(h *runtime.Host, cfg algorithms.Config, out []graph.NodeID) algorithms.CCStats) algorithms.CCStats {
+		c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2, Policy: partition.CVC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		out := make([]graph.NodeID, g.NumNodes())
+		var stats algorithms.CCStats
+		c.Run(func(h *runtime.Host) {
+			s := algo(h, algorithms.Config{}, out)
+			if h.Rank == 0 {
+				stats = s
+			}
+		})
+		return stats
+	}
+	lp := rounds(algorithms.CCLP)
+	sv := rounds(algorithms.CCSV)
+	sclp := rounds(algorithms.CCSCLP)
+	if sv.HookRounds+sv.ShortcutRounds >= lp.HookRounds {
+		t.Errorf("SV rounds (%d) should be far below LP rounds (%d)",
+			sv.HookRounds+sv.ShortcutRounds, lp.HookRounds)
+	}
+	if sclp.HookRounds+sclp.ShortcutRounds >= lp.HookRounds {
+		t.Errorf("SCLP rounds (%d) should be far below LP rounds (%d)",
+			sclp.HookRounds+sclp.ShortcutRounds, lp.HookRounds)
+	}
+}
+
+// §6.4 / Figure 11: the MC variant performs vastly more store operations
+// than the SGR design sends messages — the per-key CAS traffic SGR batches
+// away.
+func TestShapeMCStoreTrafficExceedsSGRMessages(t *testing.T) {
+	g := gen.BuildSmall(gen.Friendster)
+	const hosts = 2
+
+	// Full variant message count.
+	cFull, err := runtime.NewCluster(g, runtime.Config{NumHosts: hosts, Policy: partition.CVC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cFull.Close()
+	out := make([]graph.NodeID, g.NumNodes())
+	cFull.Run(func(h *runtime.Host) { algorithms.CCSV(h, algorithms.Config{}, out) })
+	fullMsgs, _ := cFull.CommStats()
+
+	// MC variant store operations.
+	store := kvstore.NewCluster(hosts, hosts)
+	cMC, err := runtime.NewCluster(g, runtime.Config{NumHosts: hosts, Policy: partition.CVC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cMC.Close()
+	cMC.Run(func(h *runtime.Host) {
+		algorithms.CCSV(h, algorithms.Config{Variant: npm.MC, Store: store}, out)
+	})
+	var mcOps int64
+	for h := 0; h < hosts; h++ {
+		s := store.Stats(h)
+		mcOps += s.Gets.Load() + s.Sets.Load() + s.CASAttempt.Load()
+	}
+	if mcOps < 10*fullMsgs {
+		t.Errorf("MC store ops (%d) should dwarf SGR messages (%d)", mcOps, fullMsgs)
+	}
+}
+
+// §4.2 GAR: the partition-aware variant communicates less than the
+// hash-distributed one, which must fetch even its own partition's
+// properties.
+func TestShapeGARCutsCommunication(t *testing.T) {
+	g := gen.BuildSmall(gen.RoadEurope)
+	bytesFor := func(v npm.Variant) int64 {
+		c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2, Policy: partition.CVC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		out := make([]graph.NodeID, g.NumNodes())
+		c.Run(func(h *runtime.Host) {
+			algorithms.CCSV(h, algorithms.Config{Variant: v}, out)
+		})
+		_, bytes := c.CommStats()
+		return bytes
+	}
+	full, sgrcf := bytesFor(npm.Full), bytesFor(npm.SGRCF)
+	if full >= sgrcf {
+		t.Errorf("GAR bytes (%d) should be below hash-distributed bytes (%d)", full, sgrcf)
+	}
+}
+
+// §6.1 read locality: on a handful of hosts, at least half of all property
+// reads hit master values (the paper reports 65% at 4 hosts).
+func TestShapeMasterReadLocality(t *testing.T) {
+	g := gen.BuildSmall(gen.Friendster)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 4, Policy: partition.CVC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	recs := make([]statsRecorder, 4)
+	out := make([]graph.NodeID, g.NumNodes())
+	c.Run(func(h *runtime.Host) {
+		algorithms.CCSV(h, algorithms.Config{StatsSink: &recs[h.Rank]}, out)
+	})
+	var master, remote int64
+	for i := range recs {
+		master += recs[i].master.Load()
+		remote += recs[i].remote.Load()
+	}
+	if master+remote == 0 {
+		t.Fatal("no reads recorded")
+	}
+	pct := 100 * float64(master) / float64(master+remote)
+	if pct < 40 {
+		t.Errorf("master read fraction %.1f%%, expected the paper's strong locality (>40%%)", pct)
+	}
+}
+
+// Figure 9a companion: Vite's early-termination heuristic trades quality —
+// Kimbap's Louvain modularity must be at least as good.
+func TestShapeKimbapLVQualityAtLeastVite(t *testing.T) {
+	g := gen.Communities(6, 40, 5, 1, true, 77)
+	kim, err := algorithms.Louvain(g, runtime.Config{NumHosts: 2},
+		algorithms.Config{}, algorithms.CDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vit, err := algorithms.Louvain(g, runtime.Config{NumHosts: 2},
+		algorithms.Config{Variant: npm.Vite},
+		algorithms.CDOptions{EarlyTermination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kim.Modularity < vit.Modularity-0.02 {
+		t.Errorf("Kimbap Q=%.4f below Vite Q=%.4f", kim.Modularity, vit.Modularity)
+	}
+}
+
+// The pinned-mirror broadcast sends only changed values: total broadcast
+// bytes must shrink as CC-LP converges (late rounds change few labels).
+// Asserted indirectly: Kimbap-LP on a path graph sends far fewer bytes
+// than a full-state broadcast every round would.
+func TestShapeDirtyOnlyBroadcast(t *testing.T) {
+	g := gen.Grid(32, 32, false, 1) // diameter ~62, many mirrors under CVC
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 4, Policy: partition.CVC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]graph.NodeID, g.NumNodes())
+	var stats algorithms.CCStats
+	c.Run(func(h *runtime.Host) {
+		s := algorithms.CCLP(h, algorithms.Config{}, out)
+		if h.Rank == 0 {
+			stats = s
+		}
+	})
+	_, bytes := c.CommStats()
+	// A full broadcast of all mirrors every round costs at least
+	// rounds * mirrors * 4 bytes; the dirty-only protocol must be far
+	// below that on a chain (only the frontier changes each round).
+	mirrors := 0
+	for _, hp := range c.Part.Hosts {
+		mirrors += hp.NumMirrors()
+	}
+	fullCost := int64(stats.HookRounds) * int64(mirrors) * 4
+	if fullCost > 0 && bytes > fullCost {
+		t.Errorf("comm bytes %d exceed even a naive full broadcast (%d)", bytes, fullCost)
+	}
+}

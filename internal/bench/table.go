@@ -1,0 +1,80 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§6) on the simulated cluster, printing
+// aligned text tables with the same rows and series the paper reports.
+// Absolute times differ from the paper's Stampede2 numbers — the substrate
+// here is a simulated cluster — but the shapes (who wins, by what factor,
+// where crossovers fall) are the reproduction target; EXPERIMENTS.md
+// records both.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and prints them aligned.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, r := range t.rows {
+		printRow(r)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

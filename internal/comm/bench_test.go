@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+// Throughput of the two transports under the all-to-all exchange pattern
+// every BSP round performs.
+
+func benchExchange(b *testing.B, eps []Endpoint, payload int) {
+	b.Helper()
+	n := len(eps)
+	buf := make([]byte, payload)
+	b.SetBytes(int64(payload * (n - 1)))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			out := make([][]byte, n)
+			for i := range out {
+				out[i] = buf
+			}
+			for i := 0; i < b.N; i++ {
+				Exchange(ep, TagApp, out)
+			}
+		}(ep)
+	}
+	wg.Wait()
+}
+
+func BenchmarkExchangeLocal4x1KB(b *testing.B) {
+	local := NewLocalCluster(4)
+	eps := make([]Endpoint, len(local))
+	for i, e := range local {
+		eps[i] = e
+	}
+	benchExchange(b, eps, 1024)
+}
+
+func BenchmarkExchangeLocal4x64KB(b *testing.B) {
+	local := NewLocalCluster(4)
+	eps := make([]Endpoint, len(local))
+	for i, e := range local {
+		eps[i] = e
+	}
+	benchExchange(b, eps, 64*1024)
+}
+
+func BenchmarkExchangeTCP4x1KB(b *testing.B) {
+	tcp, err := NewTCPCluster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eps := make([]Endpoint, len(tcp))
+	for i, e := range tcp {
+		eps[i] = e
+	}
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+	benchExchange(b, eps, 1024)
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	local := NewLocalCluster(8)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, ep := range local {
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				Barrier(ep)
+			}
+		}(ep)
+	}
+	wg.Wait()
+}

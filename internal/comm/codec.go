@@ -1,0 +1,41 @@
+package comm
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Little-endian append/read helpers used to serialize property-map sync
+// messages without reflection. All payloads in Kimbap are built from
+// uint32 node IDs, uint64/float64 values, and raw byte runs.
+
+// AppendUint32 appends v in little-endian order.
+func AppendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendUint64 appends v in little-endian order.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendFloat64 appends the IEEE-754 bits of v.
+func AppendFloat64(b []byte, v float64) []byte {
+	return AppendUint64(b, math.Float64bits(v))
+}
+
+// ReadUint32 reads a uint32 and returns the remaining bytes.
+func ReadUint32(b []byte) (uint32, []byte) {
+	return binary.LittleEndian.Uint32(b), b[4:]
+}
+
+// ReadUint64 reads a uint64 and returns the remaining bytes.
+func ReadUint64(b []byte) (uint64, []byte) {
+	return binary.LittleEndian.Uint64(b), b[8:]
+}
+
+// ReadFloat64 reads a float64 and returns the remaining bytes.
+func ReadFloat64(b []byte) (float64, []byte) {
+	u, rest := ReadUint64(b)
+	return math.Float64frombits(u), rest
+}

@@ -1,0 +1,184 @@
+// Package comm provides the communication substrate for the simulated
+// cluster: a per-host Endpoint abstraction with tagged message delivery,
+// bulk all-to-all exchange, and barriers.
+//
+// Two transports are provided: an in-memory channel transport (the default
+// for experiments, standing in for the paper's Omni-Path fabric) and a TCP
+// transport over real sockets with length-prefixed binary framing. Both
+// preserve per-sender FIFO order per tag, which the BSP engine relies on to
+// keep consecutive collective operations from interleaving.
+//
+// Endpoints account for messages and bytes sent so experiments can report
+// communication volume.
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Tag labels the kind of a message so different collective operations can
+// share one endpoint without interference.
+type Tag uint8
+
+// Message tags used by the runtime. Distinct collectives running back to
+// back may reuse a tag; per-sender FIFO ordering keeps them separate.
+const (
+	TagBarrier   Tag = iota // empty-payload synchronization
+	TagRequest              // node-property request bitsets
+	TagResponse             // node-property request responses
+	TagReduce               // scatter of partial reduction values
+	TagBroadcast            // master-to-mirror value broadcast
+	TagApp                  // application-level payloads (reducers etc.)
+	numTags
+)
+
+// Endpoint is one host's connection to the cluster fabric.
+type Endpoint interface {
+	// Rank returns this host's index in [0, NumHosts).
+	Rank() int
+	// NumHosts returns the number of hosts in the cluster.
+	NumHosts() int
+	// Send delivers payload to host `to` with the given tag. It must not
+	// block indefinitely and may be called concurrently with Recv (but not
+	// with other Sends to the same destination).
+	Send(to int, tag Tag, payload []byte)
+	// Recv blocks until a message with the given tag arrives from host
+	// `from` and returns its payload. Messages from one sender with one
+	// tag are delivered in send order.
+	Recv(from int, tag Tag) []byte
+	// Stats returns cumulative messages and bytes sent by this endpoint.
+	Stats() (messages, bytes int64)
+	// Close releases transport resources.
+	Close() error
+}
+
+// counters is embedded by transports to implement Stats.
+type counters struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+func (c *counters) account(payload []byte) {
+	c.messages.Add(1)
+	c.bytes.Add(int64(len(payload)))
+}
+
+// Stats returns cumulative messages and bytes sent.
+func (c *counters) Stats() (int64, int64) {
+	return c.messages.Load(), c.bytes.Load()
+}
+
+// Exchange performs a bulk all-to-all: out[i] is sent to host i (out[self]
+// is ignored and returned unchanged in the result), and the returned slice
+// holds the payload received from each host. All hosts must call Exchange
+// with the same tag. Sends are issued before receives, so the exchange
+// cannot deadlock on any transport with buffered or asynchronous delivery.
+func Exchange(ep Endpoint, tag Tag, out [][]byte) [][]byte {
+	n := ep.NumHosts()
+	self := ep.Rank()
+	if len(out) != n {
+		panic(fmt.Sprintf("comm: Exchange out has %d entries for %d hosts", len(out), n))
+	}
+	for i := 0; i < n; i++ {
+		if i == self {
+			continue
+		}
+		ep.Send(i, tag, out[i])
+	}
+	in := make([][]byte, n)
+	in[self] = out[self]
+	for i := 0; i < n; i++ {
+		if i == self {
+			continue
+		}
+		in[i] = ep.Recv(i, tag)
+	}
+	return in
+}
+
+// Barrier blocks until every host has entered the barrier. It is an
+// all-to-all exchange of empty messages.
+func Barrier(ep Endpoint) {
+	out := make([][]byte, ep.NumHosts())
+	Exchange(ep, TagBarrier, out)
+}
+
+// AllReduceBool ORs a boolean across all hosts.
+func AllReduceBool(ep Endpoint, v bool) bool {
+	payload := []byte{0}
+	if v {
+		payload[0] = 1
+	}
+	out := make([][]byte, ep.NumHosts())
+	for i := range out {
+		out[i] = payload
+	}
+	in := Exchange(ep, TagApp, out)
+	for _, p := range in {
+		if len(p) > 0 && p[0] == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// AllReduceInt64 sums an int64 across all hosts.
+func AllReduceInt64(ep Endpoint, v int64) int64 {
+	payload := AppendUint64(nil, uint64(v))
+	out := make([][]byte, ep.NumHosts())
+	for i := range out {
+		out[i] = payload
+	}
+	in := Exchange(ep, TagApp, out)
+	var sum int64
+	for i, p := range in {
+		if i == ep.Rank() {
+			sum += v
+			continue
+		}
+		u, _ := ReadUint64(p)
+		sum += int64(u)
+	}
+	return sum
+}
+
+// AllReduceFloat64 sums a float64 across all hosts.
+func AllReduceFloat64(ep Endpoint, v float64) float64 {
+	payload := AppendFloat64(nil, v)
+	out := make([][]byte, ep.NumHosts())
+	for i := range out {
+		out[i] = payload
+	}
+	in := Exchange(ep, TagApp, out)
+	sum := 0.0
+	for i, p := range in {
+		if i == ep.Rank() {
+			sum += v
+			continue
+		}
+		f, _ := ReadFloat64(p)
+		sum += f
+	}
+	return sum
+}
+
+// AllReduceMinFloat64 computes the minimum of a float64 across all hosts.
+func AllReduceMinFloat64(ep Endpoint, v float64) float64 {
+	payload := AppendFloat64(nil, v)
+	out := make([][]byte, ep.NumHosts())
+	for i := range out {
+		out[i] = payload
+	}
+	in := Exchange(ep, TagApp, out)
+	min := v
+	for i, p := range in {
+		if i == ep.Rank() {
+			continue
+		}
+		if f, _ := ReadFloat64(p); f < min {
+			min = f
+		}
+	}
+	return min
+}

@@ -1,0 +1,67 @@
+package comm
+
+import "fmt"
+
+// localFabric is an in-memory transport: a cluster of endpoints connected
+// by buffered channels. Channel capacity bounds how far ahead one host can
+// run; BSP synchronization keeps the number of in-flight messages per
+// (sender, receiver, tag) to a small constant, so the capacity below is
+// never a throttle in practice.
+type localFabric struct {
+	// ch[from][to][tag] carries payloads from host `from` to host `to`.
+	ch [][][]chan []byte
+}
+
+const localChanCap = 1024
+
+// LocalEndpoint is an Endpoint of the in-memory transport.
+type LocalEndpoint struct {
+	counters
+	fabric *localFabric
+	rank   int
+}
+
+// NewLocalCluster creates numHosts interconnected in-memory endpoints.
+func NewLocalCluster(numHosts int) []*LocalEndpoint {
+	if numHosts < 1 {
+		panic("comm: cluster needs at least one host")
+	}
+	f := &localFabric{ch: make([][][]chan []byte, numHosts)}
+	for from := range f.ch {
+		f.ch[from] = make([][]chan []byte, numHosts)
+		for to := range f.ch[from] {
+			f.ch[from][to] = make([]chan []byte, numTags)
+			for t := range f.ch[from][to] {
+				f.ch[from][to][t] = make(chan []byte, localChanCap)
+			}
+		}
+	}
+	eps := make([]*LocalEndpoint, numHosts)
+	for i := range eps {
+		eps[i] = &LocalEndpoint{fabric: f, rank: i}
+	}
+	return eps
+}
+
+// Rank implements Endpoint.
+func (e *LocalEndpoint) Rank() int { return e.rank }
+
+// NumHosts implements Endpoint.
+func (e *LocalEndpoint) NumHosts() int { return len(e.fabric.ch) }
+
+// Send implements Endpoint.
+func (e *LocalEndpoint) Send(to int, tag Tag, payload []byte) {
+	if to == e.rank {
+		panic(fmt.Sprintf("comm: host %d sending to itself", to))
+	}
+	e.account(payload)
+	e.fabric.ch[e.rank][to][tag] <- payload
+}
+
+// Recv implements Endpoint.
+func (e *LocalEndpoint) Recv(from int, tag Tag) []byte {
+	return <-e.fabric.ch[from][e.rank][tag]
+}
+
+// Close implements Endpoint. In-memory endpoints hold no resources.
+func (e *LocalEndpoint) Close() error { return nil }

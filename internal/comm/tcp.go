@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP transport: each host listens on a socket and dials every higher-rank
+// peer, producing a full mesh. Frames are length-prefixed:
+//
+//	[tag uint8][len uint32 LE][payload]
+//
+// The sender is implicit in the connection; a reader goroutine per peer
+// demultiplexes frames into per-(peer, tag) channels, preserving the
+// per-sender FIFO order Endpoint requires.
+//
+// This transport exists to demonstrate that the runtime runs over real
+// sockets; experiments default to the in-memory transport.
+
+// TCPEndpoint is an Endpoint connected over real TCP sockets.
+type TCPEndpoint struct {
+	counters
+	rank     int
+	numHosts int
+	conns    []net.Conn
+	inboxes  [][]chan []byte // inboxes[from][tag]
+	sendMu   []sync.Mutex
+	closed   sync.Once
+	closeErr error
+}
+
+// NewTCPCluster creates a full-mesh TCP cluster on the loopback interface
+// and returns one endpoint per host. It handles listener setup, rank
+// handshakes, and connection plumbing internally.
+func NewTCPCluster(numHosts int) ([]*TCPEndpoint, error) {
+	if numHosts < 1 {
+		return nil, fmt.Errorf("comm: cluster needs at least one host")
+	}
+	listeners := make([]net.Listener, numHosts)
+	addrs := make([]string, numHosts)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("comm: listen host %d: %w", i, err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	eps := make([]*TCPEndpoint, numHosts)
+	for i := range eps {
+		eps[i] = newTCPEndpoint(i, numHosts)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, numHosts)
+	for i := 0; i < numHosts; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = eps[rank].connectMesh(listeners[rank], addrs)
+		}(i)
+	}
+	wg.Wait()
+	for i, l := range listeners {
+		l.Close()
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return eps, nil
+}
+
+func newTCPEndpoint(rank, numHosts int) *TCPEndpoint {
+	ep := &TCPEndpoint{
+		rank:     rank,
+		numHosts: numHosts,
+		conns:    make([]net.Conn, numHosts),
+		inboxes:  make([][]chan []byte, numHosts),
+		sendMu:   make([]sync.Mutex, numHosts),
+	}
+	for from := range ep.inboxes {
+		ep.inboxes[from] = make([]chan []byte, numTags)
+		for t := range ep.inboxes[from] {
+			ep.inboxes[from][t] = make(chan []byte, localChanCap)
+		}
+	}
+	return ep
+}
+
+// connectMesh dials all higher ranks and accepts from all lower ranks.
+// Each dialed connection starts with a 4-byte rank handshake.
+func (e *TCPEndpoint) connectMesh(l net.Listener, addrs []string) error {
+	type dialResult struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	results := make(chan dialResult, e.numHosts)
+	dials := 0
+	for peer := e.rank + 1; peer < e.numHosts; peer++ {
+		dials++
+		go func(peer int) {
+			conn, err := net.Dial("tcp", addrs[peer])
+			if err == nil {
+				var hello [4]byte
+				binary.LittleEndian.PutUint32(hello[:], uint32(e.rank))
+				_, err = conn.Write(hello[:])
+			}
+			results <- dialResult{peer, conn, err}
+		}(peer)
+	}
+	accepts := e.rank // lower ranks dial us
+	for i := 0; i < accepts; i++ {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("comm: host %d accept: %w", e.rank, err)
+		}
+		var hello [4]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return fmt.Errorf("comm: host %d handshake: %w", e.rank, err)
+		}
+		peer := int(binary.LittleEndian.Uint32(hello[:]))
+		if peer < 0 || peer >= e.numHosts || peer == e.rank {
+			return fmt.Errorf("comm: host %d got bad handshake rank %d", e.rank, peer)
+		}
+		e.conns[peer] = conn
+	}
+	for i := 0; i < dials; i++ {
+		r := <-results
+		if r.err != nil {
+			return fmt.Errorf("comm: host %d dial %d: %w", e.rank, r.peer, r.err)
+		}
+		e.conns[r.peer] = r.conn
+	}
+	for peer, conn := range e.conns {
+		if conn != nil {
+			go e.readLoop(peer, conn)
+		}
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) readLoop(peer int, conn net.Conn) {
+	var hdr [5]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // connection closed
+		}
+		tag := Tag(hdr[0])
+		size := binary.LittleEndian.Uint32(hdr[1:])
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		e.inboxes[peer][tag] <- payload
+	}
+}
+
+// Rank implements Endpoint.
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+// NumHosts implements Endpoint.
+func (e *TCPEndpoint) NumHosts() int { return e.numHosts }
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) {
+	if to == e.rank {
+		panic("comm: tcp endpoint sending to itself")
+	}
+	e.account(payload)
+	var hdr [5]byte
+	hdr[0] = byte(tag)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	e.sendMu[to].Lock()
+	defer e.sendMu[to].Unlock()
+	if _, err := e.conns[to].Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("comm: host %d send header to %d: %v", e.rank, to, err))
+	}
+	if len(payload) > 0 {
+		if _, err := e.conns[to].Write(payload); err != nil {
+			panic(fmt.Sprintf("comm: host %d send payload to %d: %v", e.rank, to, err))
+		}
+	}
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv(from int, tag Tag) []byte {
+	return <-e.inboxes[from][tag]
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.closed.Do(func() {
+		for _, c := range e.conns {
+			if c != nil {
+				if err := c.Close(); err != nil && e.closeErr == nil {
+					e.closeErr = err
+				}
+			}
+		}
+	})
+	return e.closeErr
+}

@@ -1,0 +1,215 @@
+package compiler
+
+// Statement-level control-flow graph and dominance analysis (§2.3). Each
+// CFG node is one IR statement (If and ForEdges contribute their
+// header/condition as a node); synthetic entry and exit nodes bracket the
+// operator. Dominators are computed with the standard iterative data-flow
+// algorithm (Cooper, Harvey, Kennedy); post-dominators by running it on
+// the reversed graph.
+
+type cfgNode struct {
+	id    int
+	stmt  Stmt // nil for entry/exit
+	succs []int
+	preds []int
+
+	// For If headers: the CFG node beginning the Then branch (or -1).
+	thenEntry int
+	// For ForEdges headers: the CFG node beginning the body (or -1).
+	bodyEntry int
+}
+
+type cfg struct {
+	nodes []*cfgNode
+	entry int
+	exit  int
+	// backEdges marks ForEdges loop back edges (from -> to), which
+	// forward-flow analyses (the cautious-operator check) skip.
+	backEdges map[[2]int]bool
+}
+
+func (c *cfg) newNode(s Stmt) *cfgNode {
+	n := &cfgNode{id: len(c.nodes), stmt: s, thenEntry: -1, bodyEntry: -1}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+func (c *cfg) addEdge(from, to int) {
+	c.nodes[from].succs = append(c.nodes[from].succs, to)
+	c.nodes[to].preds = append(c.nodes[to].preds, from)
+}
+
+// buildCFG constructs the statement-level CFG of an operator body.
+func buildCFG(body []Stmt) *cfg {
+	c := &cfg{backEdges: map[[2]int]bool{}}
+	entry := c.newNode(nil)
+	c.entry = entry.id
+	last := buildSeq(c, body, []int{entry.id})
+	exit := c.newNode(nil)
+	c.exit = exit.id
+	for _, l := range last {
+		c.addEdge(l, exit.id)
+	}
+	return c
+}
+
+// buildSeq threads a statement sequence after the given predecessor
+// frontier and returns the new frontier.
+func buildSeq(c *cfg, stmts []Stmt, frontier []int) []int {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case If:
+			head := c.newNode(st)
+			for _, f := range frontier {
+				c.addEdge(f, head.id)
+			}
+			// Then branch.
+			thenFrontier := buildSeq(c, st.Then, []int{head.id})
+			if len(st.Then) > 0 {
+				head.thenEntry = head.id + 1
+			}
+			// Fall-through edge plus branch exits form the new frontier.
+			frontier = append([]int{head.id}, thenFrontier...)
+		case ForEdges:
+			head := c.newNode(st)
+			for _, f := range frontier {
+				c.addEdge(f, head.id)
+			}
+			bodyFrontier := buildSeq(c, st.Body, []int{head.id})
+			if len(st.Body) > 0 {
+				head.bodyEntry = head.id + 1
+			}
+			for _, b := range bodyFrontier {
+				c.addEdge(b, head.id)
+				c.backEdges[[2]int{b, head.id}] = true
+			}
+			frontier = []int{head.id}
+		default:
+			n := c.newNode(s)
+			for _, f := range frontier {
+				c.addEdge(f, n.id)
+			}
+			frontier = []int{n.id}
+		}
+	}
+	return frontier
+}
+
+// dominators returns idom[i] for every node reachable from root, using
+// succ/pred direction selected by reverse. idom[root] = root.
+func (c *cfg) dominators(reverse bool) []int {
+	root := c.entry
+	if reverse {
+		root = c.exit
+	}
+	order := c.postorder(root, reverse)
+	// rpo index per node; unreachable nodes keep -1.
+	rpoIndex := make([]int, len(c.nodes))
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	for i, n := range order {
+		rpoIndex[n] = len(order) - 1 - i
+	}
+	idom := make([]int, len(c.nodes))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+
+	preds := func(n int) []int {
+		if reverse {
+			return c.nodes[n].succs
+		}
+		return c.nodes[n].preds
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse postorder (order holds postorder).
+		for i := len(order) - 1; i >= 0; i-- {
+			n := order[i]
+			if n == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds(n) {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[n] != newIdom {
+				idom[n] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func (c *cfg) postorder(root int, reverse bool) []int {
+	seen := make([]bool, len(c.nodes))
+	var order []int
+	var visit func(n int)
+	visit = func(n int) {
+		seen[n] = true
+		next := c.nodes[n].succs
+		if reverse {
+			next = c.nodes[n].preds
+		}
+		for _, s := range next {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		order = append(order, n)
+	}
+	visit(root)
+	return order
+}
+
+// dominates reports whether a dominates b under the idom tree.
+func dominates(idom []int, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == idom[b] || idom[b] == -1 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// domPath returns the dominator-tree path from entry to n (inclusive).
+func domPath(idom []int, entry, n int) []int {
+	var rev []int
+	for {
+		rev = append(rev, n)
+		if n == entry || idom[n] == -1 || idom[n] == n {
+			break
+		}
+		n = idom[n]
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}

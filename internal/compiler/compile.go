@@ -1,0 +1,308 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options control compilation.
+type Options struct {
+	// Optimize enables the §5.2 optimizations (master-nodes RequestSync
+	// elision and adjacent-neighbors elision with pinned mirrors).
+	// Disabled it produces the paper's NO-OPT configuration: every read —
+	// self, adjacent, or trans-vertex — is requested and synchronized
+	// every round, and mirrors are never pinned (Figure 12).
+	Optimize bool
+}
+
+// Plan is the compiled, executable form of a Program.
+type Plan struct {
+	Program   *Program
+	Loops     []*LoopPlan
+	Optimized bool
+}
+
+// LoopPlan is one compiled KimbapWhile loop: the BSP phase sequence
+//
+//	PinMirrors*  do {  ResetUpdated
+//	                   (request op; RequestSync)*      — request phases
+//	                   compute op                      — reduce-compute
+//	                   ReduceSync*  BroadcastSync*     — reduce/broadcast
+//	             } while IsUpdated  UnpinMirrors*
+type LoopPlan struct {
+	Quiesce       string
+	MastersOnly   bool     // iterate master proxies only
+	PinMaps       []string // maps pinned for the loop's duration
+	RequestOps    []RequestOp
+	Compute       []Stmt
+	ReduceMaps    []string // maps reduced by the operator, in declaration order
+	BroadcastMaps []string // pinned maps to broadcast after reducing
+	// ReadMaps lists every map the operator reads, in declaration order.
+	// Backends without the partition-aware representation cannot serve
+	// even active-node reads locally, so the executor requests all local
+	// proxies of these maps each round on such backends (a no-op on the
+	// Full variant).
+	ReadMaps []string
+}
+
+// RequestOp is a generated request phase: the dominating operations of one
+// read, with the read replaced by a Request, followed by a RequestSync on
+// Map.
+type RequestOp struct {
+	Body []Stmt
+	Map  string
+}
+
+// Compile lowers a Program to an executable Plan, applying the paper's
+// transformations and, if enabled, its optimizations.
+func Compile(p *Program, opts Options) (*Plan, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Program: p, Optimized: opts.Optimize}
+	for li := range p.Loops {
+		lp, err := compileLoop(p, &p.Loops[li], opts)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: %s loop %d: %w", p.Name, li, err)
+		}
+		plan.Loops = append(plan.Loops, lp)
+	}
+	return plan, nil
+}
+
+// readClass classifies a property-map read by its key expression.
+type readClass int
+
+const (
+	readSelf     readClass = iota // key is the active node
+	readAdjacent                  // key is the current edge destination
+	readTrans                     // key is dynamically computed (trans-vertex)
+)
+
+func classifyKey(k Expr) readClass {
+	switch k.(type) {
+	case Active:
+		return readSelf
+	case EdgeDst:
+		return readAdjacent
+	default:
+		return readTrans
+	}
+}
+
+func compileLoop(p *Program, loop *Loop, opts Options) (*LoopPlan, error) {
+	c := buildCFG(loop.Body)
+	idom := c.dominators(false)
+	ipdom := c.dominators(true)
+	// The post-dominator tree determines where syncs are inserted: the
+	// paper places each sync before the immediate post-dominator of the
+	// operator's ParFor, which for a single-operator loop is the loop
+	// tail. The plan encodes that placement structurally; ipdom is
+	// retained for validation.
+	_ = ipdom
+
+	// Gather reads (by CFG node, in dominance-consistent order), reduces,
+	// and edge accesses.
+	var readNodes []int
+	reduceMaps := map[string]bool{}
+	readMapsByClass := map[readClass]map[string]bool{
+		readSelf: {}, readAdjacent: {}, readTrans: {},
+	}
+	accessesEdges := false
+	for _, n := range c.nodes {
+		switch st := n.stmt.(type) {
+		case Read:
+			if _, err := p.mapDecl(st.Map); err != nil {
+				return nil, err
+			}
+			readNodes = append(readNodes, n.id)
+			readMapsByClass[classifyKey(st.Key)][st.Map] = true
+		case Reduce:
+			if _, err := p.mapDecl(st.Map); err != nil {
+				return nil, err
+			}
+			reduceMaps[st.Map] = true
+		case ForEdges:
+			accessesEdges = true
+		}
+	}
+	// Order reads so dominators come first (the paper's iteration order).
+	sort.SliceStable(readNodes, func(i, j int) bool {
+		return dominates(idom, readNodes[i], readNodes[j])
+	})
+
+	lp := &LoopPlan{
+		Quiesce: loop.Quiesce,
+		Compute: loop.Body,
+		// The programmer-specified iterator restriction (§3.2) applies
+		// regardless of optimization level.
+		MastersOnly: loop.MastersOnly,
+	}
+	for _, d := range p.Maps {
+		if reduceMaps[d.Name] {
+			lp.ReduceMaps = append(lp.ReduceMaps, d.Name)
+		}
+		for _, cl := range []readClass{readSelf, readAdjacent, readTrans} {
+			if readMapsByClass[cl][d.Name] {
+				lp.ReadMaps = append(lp.ReadMaps, d.Name)
+				break
+			}
+		}
+	}
+
+	hasTrans := len(readMapsByClass[readTrans]) > 0
+	if opts.Optimize {
+		// Master-nodes elision: no edge access means mirrors would
+		// recompute exactly what masters compute, so restrict the
+		// iterator to masters (§5.2).
+		lp.MastersOnly = lp.MastersOnly || !accessesEdges
+		if !hasTrans {
+			// Adjacent-neighbors elision: all reads are self/adjacent, so
+			// pin mirrors and broadcast instead of requesting (§5.2).
+			pin := map[string]bool{}
+			for _, cl := range []readClass{readSelf, readAdjacent} {
+				for m := range readMapsByClass[cl] {
+					pin[m] = true
+				}
+			}
+			for _, d := range p.Maps {
+				if pin[d.Name] {
+					lp.PinMaps = append(lp.PinMaps, d.Name)
+					if reduceMaps[d.Name] {
+						lp.BroadcastMaps = append(lp.BroadcastMaps, d.Name)
+					}
+				}
+			}
+			return lp, nil
+		}
+		// Mixed operator: pin the self/adjacent-read maps, request the
+		// trans reads.
+		pin := map[string]bool{}
+		if accessesEdges {
+			for _, cl := range []readClass{readSelf, readAdjacent} {
+				for m := range readMapsByClass[cl] {
+					pin[m] = true
+				}
+			}
+		}
+		for _, d := range p.Maps {
+			if pin[d.Name] {
+				lp.PinMaps = append(lp.PinMaps, d.Name)
+				if reduceMaps[d.Name] {
+					lp.BroadcastMaps = append(lp.BroadcastMaps, d.Name)
+				}
+			}
+		}
+	}
+
+	// Request insertion (§5.1 split-operator transformation): for each
+	// read needing a request — trans reads always, plus self/adjacent
+	// reads without optimizations — copy its dominating operations,
+	// replace the read with a Request, and follow with a RequestSync.
+	for _, rn := range readNodes {
+		rd := c.nodes[rn].stmt.(Read)
+		cl := classifyKey(rd.Key)
+		if opts.Optimize {
+			if cl != readTrans {
+				continue // served by GAR masters or pinned mirrors
+			}
+		}
+		body, err := requestOpBody(c, idom, rn)
+		if err != nil {
+			return nil, err
+		}
+		op := RequestOp{Body: body, Map: rd.Map}
+		if opts.Optimize && lp.MastersOnly && requestsOnlyMasters(op.Body) {
+			// Master-nodes RequestSync elision: the request targets only
+			// the active node, which is a master here — delete the
+			// operator and its sync (§5.2).
+			continue
+		}
+		lp.RequestOps = append(lp.RequestOps, op)
+	}
+	return lp, nil
+}
+
+// requestsOnlyMasters reports whether every Request in the body targets
+// the active node (which, under a masters-only iterator, is a master).
+func requestsOnlyMasters(body []Stmt) bool {
+	only := true
+	var walk func([]Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case Request:
+				if _, ok := st.Key.(Active); !ok {
+					only = false
+				}
+			case If:
+				walk(st.Then)
+			case ForEdges:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(body)
+	return only
+}
+
+// requestOpBody reconstructs the nested statement sequence of the
+// operations dominating read node rn, ending with the read replaced by a
+// Request. Guarding Ifs and enclosing ForEdges loops are kept only when
+// the read lies inside them (they gate or repeat the request); dominating
+// reads and assignments are copied verbatim so key expressions evaluate
+// identically.
+func requestOpBody(c *cfg, idom []int, rn int) ([]Stmt, error) {
+	path := domPath(idom, c.entry, rn)
+	type frame struct {
+		stmts []Stmt
+		wrap  func(inner []Stmt) Stmt // wraps when the frame closes
+	}
+	stack := []frame{{}}
+	top := func() *frame { return &stack[len(stack)-1] }
+
+	for i, n := range path {
+		node := c.nodes[n]
+		if node.stmt == nil {
+			continue // entry
+		}
+		last := i == len(path)-1
+		switch st := node.stmt.(type) {
+		case Read:
+			if last {
+				top().stmts = append(top().stmts, Request{Map: st.Map, Key: st.Key})
+			} else {
+				top().stmts = append(top().stmts, st)
+			}
+		case Assign:
+			top().stmts = append(top().stmts, st)
+		case If:
+			inside := node.thenEntry != -1 && dominates(idom, node.thenEntry, rn) && n != rn
+			if inside {
+				cond := st.Cond
+				stack = append(stack, frame{wrap: func(inner []Stmt) Stmt {
+					return If{Cond: cond, Then: inner}
+				}})
+			}
+		case ForEdges:
+			inside := node.bodyEntry != -1 && dominates(idom, node.bodyEntry, rn) && n != rn
+			if inside {
+				stack = append(stack, frame{wrap: func(inner []Stmt) Stmt {
+					return ForEdges{Body: inner}
+				}})
+			}
+		case Reduce, Flag:
+			// Side effects are never copied into request operators.
+		default:
+			return nil, fmt.Errorf("unexpected statement %T on dominator path", st)
+		}
+	}
+	// Close frames innermost-out.
+	for len(stack) > 1 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		wrapped := f.wrap(f.stmts)
+		top().stmts = append(top().stmts, wrapped)
+	}
+	return stack[0].stmts, nil
+}

@@ -1,0 +1,109 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the iterative dominator computation agrees with the definition
+// — M dominates N iff every entry→N path passes through M, checked by
+// brute force (N unreachable from entry once M is removed).
+
+// randomBody builds a random nest of statements exercising every CFG
+// construct.
+func randomBody(r *rand.Rand, depth int) []Stmt {
+	n := r.Intn(4) + 1
+	body := make([]Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := r.Intn(5); {
+		case k == 0 && depth < 3:
+			body = append(body, If{
+				Cond: Cond{Op: Lt, L: Active{}, R: Const{uint32(r.Intn(10))}},
+				Then: randomBody(r, depth+1),
+			})
+		case k == 1 && depth == 0:
+			body = append(body, ForEdges{Body: randomBody(r, depth+1)})
+		case k == 2:
+			body = append(body, Assign{Dst: "x", Val: Const{1}})
+		case k == 3:
+			body = append(body, Read{Dst: "y", Map: "m", Key: Active{}})
+		default:
+			body = append(body, Reduce{Map: "m", Key: Active{}, Val: Const{0}})
+		}
+	}
+	return body
+}
+
+// bruteDominates reports whether a dominates b: b must be unreachable from
+// entry when traversal is forbidden to pass through a (with a==b trivially
+// dominating).
+func bruteDominates(c *cfg, a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(c.nodes))
+	var visit func(n int)
+	visit = func(n int) {
+		if n == a || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range c.nodes[n].succs {
+			visit(s)
+		}
+	}
+	visit(c.entry)
+	return !seen[b]
+}
+
+func TestQuickDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := buildCFG(randomBody(r, 0))
+		idom := c.dominators(false)
+		for a := 0; a < len(c.nodes); a++ {
+			for b := 0; b < len(c.nodes); b++ {
+				want := bruteDominates(c, a, b)
+				got := dominates(idom, a, b)
+				if want != got {
+					t.Logf("seed %d: dominates(%d,%d) = %v, brute force %v",
+						seed, a, b, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPostDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := buildCFG(randomBody(r, 0))
+		ipdom := c.dominators(true)
+		// Post-dominance is dominance on the reversed graph from exit.
+		rev := &cfg{nodes: make([]*cfgNode, len(c.nodes)), entry: c.exit, exit: c.entry}
+		for i, n := range c.nodes {
+			rev.nodes[i] = &cfgNode{id: i, succs: n.preds, preds: n.succs}
+		}
+		for a := 0; a < len(c.nodes); a++ {
+			for b := 0; b < len(c.nodes); b++ {
+				want := bruteDominates(rev, a, b)
+				got := dominates(ipdom, a, b)
+				if want != got {
+					t.Logf("seed %d: postdom(%d,%d) = %v, brute force %v",
+						seed, a, b, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package compiler
+
+import (
+	"fmt"
+
+	"kimbap/internal/graph"
+	"kimbap/internal/npm"
+)
+
+// Lowering: before execution, each operator's variable names are resolved
+// to slot indices and its statements to a compact instruction tree, so the
+// per-node interpreter loop allocates nothing and does no map lookups.
+// (The paper's compiler emits C++; this is the interpreter's answer to the
+// same concern — the abstraction experiment measures what remains.)
+
+type exprKind uint8
+
+const (
+	exActive exprKind = iota
+	exDst
+	exVar
+	exConst
+)
+
+type slotExpr struct {
+	kind  exprKind
+	slot  int          // for exVar
+	value graph.NodeID // for exConst
+}
+
+type lStmt interface{ lowered() }
+
+type lRead struct {
+	dst int
+	m   npm.Map[graph.NodeID]
+	key slotExpr
+}
+
+type lRequest struct {
+	m   npm.Map[graph.NodeID]
+	key slotExpr
+}
+
+type lReduce struct {
+	m        npm.Map[graph.NodeID]
+	key, val slotExpr
+}
+
+type lAssign struct {
+	dst int
+	val slotExpr
+}
+
+type lFlag struct{}
+
+type lIf struct {
+	op   CmpOp
+	l, r slotExpr
+	then []lStmt
+}
+
+type lForEdges struct {
+	body []lStmt
+}
+
+func (lRead) lowered()     {}
+func (lRequest) lowered()  {}
+func (lReduce) lowered()   {}
+func (lAssign) lowered()   {}
+func (lFlag) lowered()     {}
+func (lIf) lowered()       {}
+func (lForEdges) lowered() {}
+
+// slotTable assigns a dense index to each variable name in an operator and
+// tracks which have been defined, so hand-built plans that bypass Validate
+// still fail loudly on use-before-assign.
+type slotTable struct {
+	index   map[string]int
+	defined map[string]bool
+}
+
+func newSlotTable() *slotTable {
+	return &slotTable{index: map[string]int{}, defined: map[string]bool{}}
+}
+
+// slotOf resolves a name to its slot, marking it defined (destinations).
+func (s *slotTable) slotOf(name string) int {
+	s.defined[name] = true
+	return s.slotFor(name)
+}
+
+func (s *slotTable) slotFor(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := len(s.index)
+	s.index[name] = i
+	return i
+}
+
+func (s *slotTable) size() int { return len(s.index) }
+
+// lowerOp lowers an operator body against the executor's map table.
+func lowerOp(body []Stmt, maps map[string]npm.Map[graph.NodeID], st *slotTable) ([]lStmt, error) {
+	out := make([]lStmt, 0, len(body))
+	for _, s := range body {
+		switch stmt := s.(type) {
+		case Read:
+			m, ok := maps[stmt.Map]
+			if !ok {
+				return nil, fmt.Errorf("compiler: unknown map %q", stmt.Map)
+			}
+			key, err := lowerExpr(stmt.Key, st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lRead{dst: st.slotOf(stmt.Dst), m: m, key: key})
+		case Request:
+			m, ok := maps[stmt.Map]
+			if !ok {
+				return nil, fmt.Errorf("compiler: unknown map %q", stmt.Map)
+			}
+			key, err := lowerExpr(stmt.Key, st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lRequest{m: m, key: key})
+		case Reduce:
+			m, ok := maps[stmt.Map]
+			if !ok {
+				return nil, fmt.Errorf("compiler: unknown map %q", stmt.Map)
+			}
+			key, err := lowerExpr(stmt.Key, st)
+			if err != nil {
+				return nil, err
+			}
+			val, err := lowerExpr(stmt.Val, st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lReduce{m: m, key: key, val: val})
+		case Assign:
+			val, err := lowerExpr(stmt.Val, st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lAssign{dst: st.slotOf(stmt.Dst), val: val})
+		case Flag:
+			out = append(out, lFlag{})
+		case If:
+			l, err := lowerExpr(stmt.Cond.L, st)
+			if err != nil {
+				return nil, err
+			}
+			r, err := lowerExpr(stmt.Cond.R, st)
+			if err != nil {
+				return nil, err
+			}
+			then, err := lowerOp(stmt.Then, maps, st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lIf{op: stmt.Cond.Op, l: l, r: r, then: then})
+		case ForEdges:
+			body, err := lowerOp(stmt.Body, maps, st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lForEdges{body: body})
+		default:
+			return nil, fmt.Errorf("compiler: cannot lower %T", s)
+		}
+	}
+	return out, nil
+}
+
+func lowerExpr(e Expr, st *slotTable) (slotExpr, error) {
+	switch v := e.(type) {
+	case Active:
+		return slotExpr{kind: exActive}, nil
+	case EdgeDst:
+		return slotExpr{kind: exDst}, nil
+	case Const:
+		return slotExpr{kind: exConst, value: graph.NodeID(v.V)}, nil
+	case Var:
+		if !st.defined[v.Name] {
+			return slotExpr{}, fmt.Errorf("compiler: read of unassigned variable %q", v.Name)
+		}
+		return slotExpr{kind: exVar, slot: st.slotFor(v.Name)}, nil
+	default:
+		return slotExpr{}, fmt.Errorf("compiler: cannot lower expression %T", e)
+	}
+}

@@ -1,0 +1,106 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pretty-printing of programs and compiled plans, in the style of the
+// paper's Figures 4 and 8. Useful for debugging transformations and for
+// inspecting what the optimizer did (`kimbap-bench -exp fig12` prints the
+// measured effect; PlanString shows the structural one).
+
+// ProgramString renders a program as KimbapWhile pseudo-code (Figure 4).
+func ProgramString(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, d := range p.Maps {
+		init := fmt.Sprintf("const %d", d.InitConst)
+		if d.InitToID {
+			init = "own ID"
+		}
+		if d.InitDegreePrio {
+			init = "degree priority"
+		}
+		fmt.Fprintf(&b, "map %s: %s reduce, init %s\n", d.Name, d.Kind, init)
+	}
+	for i, l := range p.Loops {
+		iter := "Nodes()"
+		if l.MastersOnly {
+			iter = "MasterNodes()"
+		}
+		fmt.Fprintf(&b, "KimbapWhile (%s) Updated  // loop %d\n", l.Quiesce, i)
+		fmt.Fprintf(&b, "  ParFor (node : graph.%s) {\n", iter)
+		writeStmts(&b, l.Body, "    ")
+		b.WriteString("  }\n")
+	}
+	return b.String()
+}
+
+// PlanString renders a compiled plan as BSP pseudo-code (Figure 8).
+func PlanString(plan *Plan) string {
+	var b strings.Builder
+	mode := "NO-OPT"
+	if plan.Optimized {
+		mode = "OPT"
+	}
+	fmt.Fprintf(&b, "plan %s [%s]\n", plan.Program.Name, mode)
+	for i, lp := range plan.Loops {
+		fmt.Fprintf(&b, "loop %d (quiesce on %s):\n", i, lp.Quiesce)
+		for _, m := range lp.PinMaps {
+			fmt.Fprintf(&b, "  %s.PinMirrors()\n", m)
+		}
+		b.WriteString("  do {\n")
+		fmt.Fprintf(&b, "    %s.ResetUpdated()\n", lp.Quiesce)
+		iter := "Nodes()"
+		if lp.MastersOnly {
+			iter = "MasterNodes()"
+		}
+		for _, op := range lp.RequestOps {
+			fmt.Fprintf(&b, "    ParFor (node : graph.%s) {  // request phase\n", iter)
+			writeStmts(&b, op.Body, "      ")
+			b.WriteString("    }\n")
+			fmt.Fprintf(&b, "    %s.RequestSync()\n", op.Map)
+		}
+		fmt.Fprintf(&b, "    ParFor (node : graph.%s) {  // reduce-compute\n", iter)
+		writeStmts(&b, lp.Compute, "      ")
+		b.WriteString("    }\n")
+		for _, m := range lp.ReduceMaps {
+			fmt.Fprintf(&b, "    %s.ReduceSync()\n", m)
+		}
+		for _, m := range lp.BroadcastMaps {
+			fmt.Fprintf(&b, "    %s.BroadcastSync()\n", m)
+		}
+		fmt.Fprintf(&b, "  } while (%s.IsUpdated())\n", lp.Quiesce)
+		for _, m := range lp.PinMaps {
+			fmt.Fprintf(&b, "  %s.UnpinMirrors()\n", m)
+		}
+	}
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Read:
+			fmt.Fprintf(b, "%s%s = %s.Read(%s)\n", indent, st.Dst, st.Map, st.Key.exprString())
+		case Request:
+			fmt.Fprintf(b, "%s%s.Request(%s)\n", indent, st.Map, st.Key.exprString())
+		case Reduce:
+			fmt.Fprintf(b, "%s%s.Reduce(%s, %s)\n", indent, st.Map,
+				st.Key.exprString(), st.Val.exprString())
+		case Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", indent, st.Dst, st.Val.exprString())
+		case Flag:
+			fmt.Fprintf(b, "%swork_done.Reduce(true)\n", indent)
+		case If:
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, st.Cond)
+			writeStmts(b, st.Then, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		case ForEdges:
+			fmt.Fprintf(b, "%sfor (edge : graph.Edges(node)) { dst = edge.Destination\n", indent)
+			writeStmts(b, st.Body, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	}
+}

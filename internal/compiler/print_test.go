@@ -1,0 +1,81 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramStringCCSV(t *testing.T) {
+	out := ProgramString(CCSVProgram())
+	for _, want := range []string{
+		"program cc-sv",
+		"map parent: min reduce, init own ID",
+		"KimbapWhile (parent) Updated",
+		"src_parent = parent.Read(node)",
+		"for (edge : graph.Edges(node))",
+		"if (src_parent > dst_parent)",
+		"work_done.Reduce(true)",
+		"parent.Reduce(src_parent, dst_parent)",
+		"gp = parent.Read(p)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanStringMatchesFigure8Shape(t *testing.T) {
+	plan, err := Compile(CCSVProgram(), Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PlanString(plan)
+	// Figure 8's hook: pin, no requests, reduce+broadcast.
+	for _, want := range []string{
+		"plan cc-sv [OPT]",
+		"parent.PinMirrors()",
+		"parent.ReduceSync()",
+		"parent.BroadcastSync()",
+		"parent.UnpinMirrors()",
+		// Figure 8's shortcut: masters-only iterator with a request phase.
+		"ParFor (node : graph.MasterNodes()) {  // request phase",
+		"parent.Request(p)",
+		"parent.RequestSync()",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The hook loop must NOT contain a request phase.
+	hookPart := out[:strings.Index(out, "loop 1")]
+	if strings.Contains(hookPart, "request phase") {
+		t.Errorf("hook loop has a request phase:\n%s", hookPart)
+	}
+}
+
+func TestPlanStringNoOpt(t *testing.T) {
+	plan, err := Compile(CCLPProgram(), Options{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PlanString(plan)
+	if !strings.Contains(out, "[NO-OPT]") {
+		t.Error("missing NO-OPT marker")
+	}
+	if strings.Contains(out, "PinMirrors") {
+		t.Error("NO-OPT plan should not pin mirrors")
+	}
+	if strings.Count(out, "RequestSync") != 2 {
+		t.Errorf("NO-OPT CC-LP should have 2 request syncs:\n%s", out)
+	}
+}
+
+func TestProgramStringMIS(t *testing.T) {
+	out := ProgramString(MISProgram())
+	if !strings.Contains(out, "MasterNodes()") {
+		t.Error("MIS iterator restriction not printed")
+	}
+	if !strings.Contains(out, "map prio: min reduce, init degree priority") {
+		t.Errorf("prio map decl not printed:\n%s", out)
+	}
+}

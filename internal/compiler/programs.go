@@ -1,0 +1,139 @@
+package compiler
+
+// The paper's example programs in the IR. CCSVProgram is the literal
+// Figure 4 source: the compiler turns it into the Figure 8 phase
+// structure, which the package tests verify.
+
+// CCSVProgram is Shiloach-Vishkin connected components (Figure 4): a hook
+// loop and a shortcut loop over a min-reduced parent map, repeated (via
+// the Flag) until neither changes anything.
+func CCSVProgram() *Program {
+	return &Program{
+		Name: "cc-sv",
+		Maps: []MapDecl{{Name: "parent", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{
+			{ // Hook.
+				Quiesce: "parent",
+				Body: []Stmt{
+					Read{Dst: "src_parent", Map: "parent", Key: Active{}},
+					ForEdges{Body: []Stmt{
+						Read{Dst: "dst_parent", Map: "parent", Key: EdgeDst{}},
+						If{
+							Cond: Cond{Op: Gt, L: Var{"src_parent"}, R: Var{"dst_parent"}},
+							Then: []Stmt{
+								Flag{},
+								Reduce{Map: "parent", Key: Var{"src_parent"}, Val: Var{"dst_parent"}},
+							},
+						},
+					}},
+				},
+			},
+			{ // Shortcut.
+				Quiesce: "parent",
+				Body: []Stmt{
+					Read{Dst: "p", Map: "parent", Key: Active{}},
+					Read{Dst: "gp", Map: "parent", Key: Var{"p"}},
+					If{
+						Cond: Cond{Op: Ne, L: Var{"p"}, R: Var{"gp"}},
+						Then: []Stmt{
+							Reduce{Map: "parent", Key: Active{}, Val: Var{"gp"}},
+						},
+					},
+				},
+			},
+		},
+	}
+}
+
+// CCLPProgram is label-propagation connected components: a single
+// adjacent-vertex loop pushing min labels to neighbors.
+func CCLPProgram() *Program {
+	return &Program{
+		Name: "cc-lp",
+		Maps: []MapDecl{{Name: "comp", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{
+			Quiesce: "comp",
+			Body: []Stmt{
+				Read{Dst: "label", Map: "comp", Key: Active{}},
+				ForEdges{Body: []Stmt{
+					Read{Dst: "dlabel", Map: "comp", Key: EdgeDst{}},
+					If{
+						Cond: Cond{Op: Lt, L: Var{"label"}, R: Var{"dlabel"}},
+						Then: []Stmt{
+							Reduce{Map: "comp", Key: EdgeDst{}, Val: Var{"label"}},
+						},
+					},
+				}},
+			},
+		}},
+	}
+}
+
+// MIS state encoding used by MISProgram.
+const (
+	MISUndecided = 0
+	MISOut       = 1
+	MISIn        = 2
+)
+
+// MISProgram is priority-based maximal independent set: an adjacent-vertex
+// program over a degree-derived priority map and a max-reduced state map.
+// The iterator is restricted to masters (a §3.2 subset iterator), so it
+// must run under an edge-cut partition where masters hold their full
+// adjacency.
+func MISProgram() *Program {
+	return &Program{
+		Name: "mis",
+		Maps: []MapDecl{
+			{Name: "prio", Kind: MinMap, InitDegreePrio: true},
+			{Name: "state", Kind: MaxMap, InitConst: MISUndecided},
+		},
+		Loops: []Loop{{
+			Quiesce:     "state",
+			MastersOnly: true,
+			Body: []Stmt{
+				Read{Dst: "s", Map: "state", Key: Active{}},
+				If{
+					Cond: Cond{Op: Eq, L: Var{"s"}, R: Const{MISUndecided}},
+					Then: []Stmt{
+						Read{Dst: "myp", Map: "prio", Key: Active{}},
+						Assign{Dst: "wins", Val: Const{1}},
+						ForEdges{Body: []Stmt{
+							If{
+								Cond: Cond{Op: Ne, L: EdgeDst{}, R: Active{}},
+								Then: []Stmt{
+									Read{Dst: "ds", Map: "state", Key: EdgeDst{}},
+									If{
+										Cond: Cond{Op: Eq, L: Var{"ds"}, R: Const{MISIn}},
+										Then: []Stmt{
+											Assign{Dst: "wins", Val: Const{0}},
+											Reduce{Map: "state", Key: Active{}, Val: Const{MISOut}},
+										},
+									},
+									If{
+										Cond: Cond{Op: Eq, L: Var{"ds"}, R: Const{MISUndecided}},
+										Then: []Stmt{
+											Read{Dst: "dp", Map: "prio", Key: EdgeDst{}},
+											If{
+												Cond: Cond{Op: Lt, L: Var{"dp"}, R: Var{"myp"}},
+												Then: []Stmt{
+													Assign{Dst: "wins", Val: Const{0}},
+												},
+											},
+										},
+									},
+								},
+							},
+						}},
+						If{
+							Cond: Cond{Op: Eq, L: Var{"wins"}, R: Const{1}},
+							Then: []Stmt{
+								Reduce{Map: "state", Key: Active{}, Val: Const{MISIn}},
+							},
+						},
+					},
+				},
+			},
+		}},
+	}
+}

@@ -1,0 +1,119 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/npm"
+	"kimbap/internal/partition"
+)
+
+// Property: for randomly generated cautious vertex programs, the compiler
+// produces plans whose execution is identical with and without the §5.2
+// optimizations, across host counts and partition policies. This is the
+// compiler's core soundness claim — elisions must never change semantics.
+
+// randomProgram builds a cautious single-loop program over one min map:
+// a read prefix (self, adjacent inside one edge loop, and chained trans
+// reads), then guarded reduces using only previously read values.
+func randomProgram(r *rand.Rand) *Program {
+	body := []Stmt{
+		Read{Dst: "v0", Map: "m", Key: Active{}},
+	}
+	vars := []string{"v0"}
+	// Chained trans reads.
+	for i := 0; i < r.Intn(3); i++ {
+		src := vars[r.Intn(len(vars))]
+		dst := "t" + string(rune('0'+i))
+		body = append(body, Read{Dst: dst, Map: "m", Key: Var{src}})
+		vars = append(vars, dst)
+	}
+	// One optional edge loop with an adjacent read and a guarded reduce
+	// to an arbitrary previously read node.
+	if r.Intn(2) == 0 {
+		target := vars[r.Intn(len(vars))]
+		body = append(body, ForEdges{Body: []Stmt{
+			Read{Dst: "d", Map: "m", Key: EdgeDst{}},
+			If{
+				Cond: Cond{Op: Gt, L: Var{target}, R: Var{"d"}},
+				Then: []Stmt{Reduce{Map: "m", Key: Var{target}, Val: Var{"d"}}},
+			},
+		}})
+	} else {
+		// Straight-line guarded reduce (shortcut-shaped).
+		a := vars[r.Intn(len(vars))]
+		b := vars[r.Intn(len(vars))]
+		body = append(body, If{
+			Cond: Cond{Op: Ne, L: Var{a}, R: Var{b}},
+			Then: []Stmt{Reduce{Map: "m", Key: Active{}, Val: Var{b}}},
+		})
+	}
+	return &Program{
+		Name:  "random",
+		Maps:  []MapDecl{{Name: "m", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{Quiesce: "m", Body: body}},
+	}
+}
+
+func runProgram(t *testing.T, prog *Program, g *graph.Graph, hosts int,
+	pol partition.Policy, optimize bool) []graph.NodeID {
+	t.Helper()
+	return runCompiled(t, prog, g, hosts, pol, optimize, npm.Full, "m")
+}
+
+func TestQuickOptNoOptEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomProgram(r)
+		if err := Validate(prog); err != nil {
+			t.Logf("generator produced invalid program: %v", err)
+			return false
+		}
+		g := gen.ErdosRenyi(30+r.Intn(30), 80, false, seed)
+		ref := runProgram(t, prog, g, 1, partition.OEC, true)
+		for _, opt := range []bool{true, false} {
+			for _, hosts := range []int{2, 3} {
+				got := runProgram(t, prog, g, hosts, partition.OEC, opt)
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Logf("seed %d opt=%v hosts=%d: node %d = %d, want %d",
+							seed, opt, hosts, i, got[i], ref[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompiledAcrossPolicies(t *testing.T) {
+	// Programs without edge access are policy-independent; with edges,
+	// results must agree across all partition policies too.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomProgram(r)
+		g := gen.RMAT(6, 4, false, seed)
+		ref := runProgram(t, prog, g, 1, partition.OEC, true)
+		for _, pol := range partition.Policies {
+			got := runProgram(t, prog, g, 3, pol, true)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Logf("seed %d policy %s: node %d = %d, want %d",
+						seed, pol, i, got[i], ref[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package compiler
+
+import "fmt"
+
+// Validation of the §3.2 programming-model requirements. Kimbap requires
+// operators to be *cautious* (Pingali et al.): writes must follow the
+// reads they could affect. Kimbap's reductions are deferred to ReduceSync,
+// so a read can never observe a same-round write; what must still hold is
+// that no read of a map follows a reduce to that same map in one
+// *application* of the operator — i.e., in forward control flow, ignoring
+// the edge-loop back edges that separate applications.
+//
+// Validate also enforces the structural rules the executor relies on:
+// EdgeDst only inside ForEdges, variables assigned before use,
+// no nested edge loops, and declared map references.
+
+// Validate checks a program against the programming-model rules and
+// returns the first violation found, or nil.
+func Validate(p *Program) error {
+	for li := range p.Loops {
+		if err := validateLoop(p, &p.Loops[li]); err != nil {
+			return fmt.Errorf("compiler: %s loop %d: %w", p.Name, li, err)
+		}
+	}
+	return nil
+}
+
+func validateLoop(p *Program, loop *Loop) error {
+	c := buildCFG(loop.Body)
+
+	// Cautious-operator check: no Read of map M forward-reachable from a
+	// Reduce to M within one operator application.
+	for _, n := range c.nodes {
+		red, ok := n.stmt.(Reduce)
+		if !ok {
+			continue
+		}
+		reach := c.forwardReachableFrom(n.id)
+		for _, m := range c.nodes {
+			rd, ok := m.stmt.(Read)
+			if ok && rd.Map == red.Map && m.id != n.id && reach[m.id] {
+				return fmt.Errorf("operator is not cautious: Read of %q follows a "+
+					"Reduce to it (reduce node %d, read node %d)", rd.Map, n.id, m.id)
+			}
+		}
+	}
+
+	// Structural checks over the AST.
+	return walkStmts(loop.Body, false, map[string]bool{}, p)
+}
+
+// forwardReachableFrom returns the CFG nodes reachable from start without
+// traversing loop back edges.
+func (c *cfg) forwardReachableFrom(start int) []bool {
+	seen := make([]bool, len(c.nodes))
+	var visit func(n int)
+	visit = func(n int) {
+		for _, s := range c.nodes[n].succs {
+			if c.backEdges[[2]int{n, s}] {
+				continue
+			}
+			if !seen[s] {
+				seen[s] = true
+				visit(s)
+			}
+		}
+	}
+	visit(start)
+	return seen
+}
+
+func walkStmts(stmts []Stmt, inEdges bool, defined map[string]bool, p *Program) error {
+	checkExpr := func(e Expr) error {
+		switch v := e.(type) {
+		case EdgeDst:
+			if !inEdges {
+				return fmt.Errorf("EdgeDst used outside ForEdges")
+			}
+		case Var:
+			if !defined[v.Name] {
+				return fmt.Errorf("variable %q used before assignment", v.Name)
+			}
+		}
+		return nil
+	}
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Read:
+			if _, err := p.mapDecl(st.Map); err != nil {
+				return err
+			}
+			if err := checkExpr(st.Key); err != nil {
+				return err
+			}
+			defined[st.Dst] = true
+		case Reduce:
+			if _, err := p.mapDecl(st.Map); err != nil {
+				return err
+			}
+			if err := checkExpr(st.Key); err != nil {
+				return err
+			}
+			if err := checkExpr(st.Val); err != nil {
+				return err
+			}
+		case Assign:
+			if err := checkExpr(st.Val); err != nil {
+				return err
+			}
+			defined[st.Dst] = true
+		case If:
+			if err := checkExpr(st.Cond.L); err != nil {
+				return err
+			}
+			if err := checkExpr(st.Cond.R); err != nil {
+				return err
+			}
+			// Branch-local definitions do not escape: a variable assigned
+			// only under a condition may be unassigned on other paths.
+			branch := copyDefs(defined)
+			if err := walkStmts(st.Then, inEdges, branch, p); err != nil {
+				return err
+			}
+		case ForEdges:
+			if inEdges {
+				return fmt.Errorf("nested ForEdges is not supported")
+			}
+			body := copyDefs(defined)
+			if err := walkStmts(st.Body, true, body, p); err != nil {
+				return err
+			}
+		case Flag, Request:
+			// no structural constraints
+		}
+	}
+	return nil
+}
+
+func copyDefs(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsPaperPrograms(t *testing.T) {
+	for _, p := range []*Program{CCSVProgram(), CCLPProgram(), MISProgram()} {
+		if err := Validate(p); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsNonCautious(t *testing.T) {
+	p := &Program{
+		Name: "bad",
+		Maps: []MapDecl{{Name: "m", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{
+			Quiesce: "m",
+			Body: []Stmt{
+				Reduce{Map: "m", Key: Active{}, Val: Const{0}},
+				Read{Dst: "x", Map: "m", Key: Active{}}, // read after write
+			},
+		}},
+	}
+	err := Validate(p)
+	if err == nil || !strings.Contains(err.Error(), "cautious") {
+		t.Fatalf("expected cautious violation, got %v", err)
+	}
+}
+
+func TestValidateAllowsReduceThenNextIterationRead(t *testing.T) {
+	// The Figure 4 hook: the Reduce inside the edge loop is followed by
+	// the NEXT edge's Read only via the back edge — allowed.
+	p := &Program{
+		Name: "hook-like",
+		Maps: []MapDecl{{Name: "m", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{
+			Quiesce: "m",
+			Body: []Stmt{
+				ForEdges{Body: []Stmt{
+					Read{Dst: "d", Map: "m", Key: EdgeDst{}},
+					Reduce{Map: "m", Key: Var{"d"}, Val: Const{0}},
+				}},
+			},
+		}},
+	}
+	if err := Validate(p); err != nil {
+		t.Fatalf("back-edge read wrongly rejected: %v", err)
+	}
+}
+
+func TestValidateAllowsCrossMapReadAfterReduce(t *testing.T) {
+	p := &Program{
+		Name: "cross-map",
+		Maps: []MapDecl{
+			{Name: "a", Kind: MinMap, InitToID: true},
+			{Name: "b", Kind: MinMap, InitToID: true},
+		},
+		Loops: []Loop{{
+			Quiesce: "a",
+			Body: []Stmt{
+				Reduce{Map: "a", Key: Active{}, Val: Const{0}},
+				Read{Dst: "x", Map: "b", Key: Active{}}, // different map: fine
+			},
+		}},
+	}
+	if err := Validate(p); err != nil {
+		t.Fatalf("cross-map read wrongly rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsEdgeDstOutsideLoop(t *testing.T) {
+	p := &Program{
+		Name: "bad-dst",
+		Maps: []MapDecl{{Name: "m", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{
+			Quiesce: "m",
+			Body:    []Stmt{Read{Dst: "x", Map: "m", Key: EdgeDst{}}},
+		}},
+	}
+	if err := Validate(p); err == nil {
+		t.Fatal("EdgeDst outside ForEdges accepted")
+	}
+}
+
+func TestValidateRejectsUseBeforeAssign(t *testing.T) {
+	p := &Program{
+		Name: "bad-var",
+		Maps: []MapDecl{{Name: "m", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{
+			Quiesce: "m",
+			Body:    []Stmt{Reduce{Map: "m", Key: Active{}, Val: Var{"ghost"}}},
+		}},
+	}
+	if err := Validate(p); err == nil {
+		t.Fatal("use-before-assign accepted")
+	}
+}
+
+func TestValidateRejectsBranchLocalEscape(t *testing.T) {
+	p := &Program{
+		Name: "branch-escape",
+		Maps: []MapDecl{{Name: "m", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{
+			Quiesce: "m",
+			Body: []Stmt{
+				Read{Dst: "a", Map: "m", Key: Active{}},
+				If{Cond: Cond{Op: Lt, L: Var{"a"}, R: Const{3}}, Then: []Stmt{
+					Assign{Dst: "only_here", Val: Const{1}},
+				}},
+				Reduce{Map: "m", Key: Active{}, Val: Var{"only_here"}},
+			},
+		}},
+	}
+	if err := Validate(p); err == nil {
+		t.Fatal("branch-local variable escape accepted")
+	}
+}
+
+func TestValidateRejectsNestedForEdges(t *testing.T) {
+	p := &Program{
+		Name: "nested",
+		Maps: []MapDecl{{Name: "m", Kind: MinMap, InitToID: true}},
+		Loops: []Loop{{
+			Quiesce: "m",
+			Body:    []Stmt{ForEdges{Body: []Stmt{ForEdges{Body: nil}}}},
+		}},
+	}
+	if err := Validate(p); err == nil {
+		t.Fatal("nested ForEdges accepted")
+	}
+}
+
+func TestValidateRejectsUndeclaredMap(t *testing.T) {
+	p := &Program{
+		Name:  "undeclared",
+		Maps:  []MapDecl{{Name: "m", Kind: MinMap}},
+		Loops: []Loop{{Quiesce: "m", Body: []Stmt{Read{Dst: "x", Map: "zap", Key: Active{}}}}},
+	}
+	if err := Validate(p); err == nil {
+		t.Fatal("undeclared map accepted")
+	}
+}

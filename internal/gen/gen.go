@@ -1,0 +1,296 @@
+// Package gen produces deterministic synthetic graphs standing in for the
+// paper's four evaluation inputs (Table 1): a high-diameter road network
+// (road-europe), a power-law social network (friendster), and two larger
+// power-law web crawls (clueweb12, wdc12). Real inputs are 3 GB - 1 TB and
+// not redistributable, so the reproduction uses generators that preserve
+// the two structural properties the evaluation depends on: diameter and
+// degree skew. All generators are deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"kimbap/internal/graph"
+)
+
+// Grid generates a rows x cols 4-neighbor grid, the road-network analogue:
+// uniform small degree (<=4), high diameter (rows+cols), single component.
+// The result is symmetric. If weighted, edge weights are deterministic
+// pseudo-random values in [1, 100).
+func Grid(rows, cols int, weighted bool, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(rows * cols)
+	id := func(i, j int) graph.NodeID { return graph.NodeID(i*cols + j) }
+	addEdge := func(u, v graph.NodeID) {
+		if weighted {
+			b.AddWeightedEdge(u, v, 1+99*r.Float64())
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				addEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows {
+				addEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	b.Symmetrize()
+	return b.Build()
+}
+
+// RMAT generates a power-law graph with 2^scale nodes and approximately
+// edgeFactor*2^scale undirected edges using the R-MAT recursive-quadrant
+// model with the standard (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) parameters.
+// Duplicate edges and self-loops are removed and the result is symmetrized,
+// so the final edge count is somewhat below 2*edgeFactor*2^scale.
+func RMAT(scale int, edgeFactor int, weighted bool, seed int64) *graph.Graph {
+	return rmat(scale, edgeFactor, 0.57, 0.19, 0.19, weighted, seed)
+}
+
+func rmat(scale, edgeFactor int, a, b, c float64, weighted bool, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := edgeFactor * n
+	bld := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		src, dst := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left quadrant: no bits set
+			case p < a+b:
+				dst |= 1 << bit
+			case p < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		if src == dst {
+			continue
+		}
+		if weighted {
+			bld.AddWeightedEdge(graph.NodeID(src), graph.NodeID(dst), 1+99*r.Float64())
+		} else {
+			bld.AddEdge(graph.NodeID(src), graph.NodeID(dst))
+		}
+	}
+	bld.Symmetrize()
+	bld.Dedup()
+	return bld.Build()
+}
+
+// ErdosRenyi generates a G(n, m) random graph with m directed edges chosen
+// uniformly (self-loops skipped), then symmetrized and deduplicated.
+func ErdosRenyi(n, m int, weighted bool, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		src := graph.NodeID(r.Intn(n))
+		dst := graph.NodeID(r.Intn(n))
+		if src == dst {
+			continue
+		}
+		if weighted {
+			b.AddWeightedEdge(src, dst, 1+99*r.Float64())
+		} else {
+			b.AddEdge(src, dst)
+		}
+	}
+	b.Symmetrize()
+	b.Dedup()
+	return b.Build()
+}
+
+// Chain generates a path graph 0-1-2-...-(n-1), symmetrized. Its diameter is
+// n-1, the extreme case for pointer-jumping algorithms.
+func Chain(n int, weighted bool, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		if weighted {
+			b.AddWeightedEdge(graph.NodeID(i), graph.NodeID(i+1), 1+99*r.Float64())
+		} else {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		}
+	}
+	b.Symmetrize()
+	return b.Build()
+}
+
+// Star generates a hub-and-spoke graph: node 0 connected to all others,
+// symmetrized. It is the extreme case for reduction conflicts on a
+// high-degree node.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.NodeID(i))
+	}
+	b.Symmetrize()
+	return b.Build()
+}
+
+// Communities generates a planted-partition graph with k communities of
+// the given size: intra-community edges with probability pIn expressed via
+// expected intra-degree degIn, plus degOut random inter-community edges per
+// node. Ground truth is recoverable by community detection; used to sanity
+// check Louvain/Leiden quality.
+func Communities(k, size, degIn, degOut int, weighted bool, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := k * size
+	b := graph.NewBuilder(n)
+	add := func(u, v graph.NodeID) {
+		if u == v {
+			return
+		}
+		if weighted {
+			b.AddWeightedEdge(u, v, 1+9*r.Float64())
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			u := graph.NodeID(base + i)
+			// Ring within the community guarantees it is connected.
+			add(u, graph.NodeID(base+(i+1)%size))
+			for d := 0; d < degIn; d++ {
+				add(u, graph.NodeID(base+r.Intn(size)))
+			}
+			for d := 0; d < degOut; d++ {
+				add(u, graph.NodeID(r.Intn(n)))
+			}
+		}
+	}
+	b.Symmetrize()
+	b.Dedup()
+	return b.Build()
+}
+
+// Preset names the scaled-down analogues of the paper's Table 1 inputs.
+type Preset string
+
+// The four presets mirror Table 1's graph classes at laptop scale.
+const (
+	// RoadEurope: high diameter, uniform degree <= 4 (paper: 173M nodes,
+	// 365M edges, max degree 16). Here: a grid.
+	RoadEurope Preset = "road-europe"
+	// Friendster: power-law social network (paper: 41M nodes, 2B edges,
+	// max degree 3M). Here: R-MAT scale 14.
+	Friendster Preset = "friendster"
+	// Clueweb12: large power-law web crawl (paper: 978M nodes, 85B edges).
+	// Here: R-MAT scale 16.
+	Clueweb12 Preset = "clueweb12"
+	// WDC12: the largest public graph (paper: 3B nodes, 256B edges).
+	// Here: R-MAT scale 17.
+	WDC12 Preset = "wdc12"
+)
+
+// Presets lists all graph presets in Table 1 order.
+var Presets = []Preset{RoadEurope, Friendster, Clueweb12, WDC12}
+
+// Build generates the preset graph. Weighted graphs are needed for MSF,
+// LV, and LD; generators always attach weights so one graph serves all
+// algorithms.
+func Build(p Preset) *graph.Graph {
+	switch p {
+	case RoadEurope:
+		return Grid(160, 160, true, 42)
+	case Friendster:
+		return RMAT(14, 16, true, 43)
+	case Clueweb12:
+		return RMAT(16, 20, true, 44)
+	case WDC12:
+		return RMAT(17, 18, true, 45)
+	default:
+		panic("gen: unknown preset " + string(p))
+	}
+}
+
+// BuildSmall generates a reduced version of the preset for unit tests.
+func BuildSmall(p Preset) *graph.Graph {
+	switch p {
+	case RoadEurope:
+		return Grid(24, 24, true, 42)
+	case Friendster:
+		return RMAT(9, 8, true, 43)
+	case Clueweb12:
+		return RMAT(10, 8, true, 44)
+	case WDC12:
+		return RMAT(10, 10, true, 45)
+	default:
+		panic("gen: unknown preset " + string(p))
+	}
+}
+
+// ApproxDiameter estimates a graph's diameter with a double-sweep BFS:
+// BFS from node 0, then BFS from the farthest node found. This lower bound
+// is exact on trees and accurate enough to classify graphs as high- or
+// low-diameter.
+func ApproxDiameter(g *graph.Graph) int {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	far, _ := bfsFarthest(g, 0)
+	_, d := bfsFarthest(g, far)
+	return d
+}
+
+func bfsFarthest(g *graph.Graph, start graph.NodeID) (graph.NodeID, int) {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = math.MaxInt
+	}
+	dist[start] = 0
+	queue := []graph.NodeID{start}
+	farNode, farDist := start, 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == math.MaxInt {
+				dist[v] = dist[u] + 1
+				if dist[v] > farDist {
+					farDist, farNode = dist[v], v
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return farNode, farDist
+}
+
+// Load resolves a graph specification: a preset name ("friendster"), a
+// reduced preset ("small:friendster"), or a path to an edge-list file.
+func Load(spec string) (*graph.Graph, error) {
+	if small, ok := strings.CutPrefix(spec, "small:"); ok {
+		for _, p := range Presets {
+			if small == string(p) {
+				return BuildSmall(Preset(small)), nil
+			}
+		}
+		return nil, fmt.Errorf("gen: unknown preset %q", small)
+	}
+	for _, p := range Presets {
+		if spec == string(p) {
+			return Build(p), nil
+		}
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, fmt.Errorf("gen: %q is not a preset and not a readable file: %w", spec, err)
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}

@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"os"
+	"testing"
+
+	"kimbap/internal/graph"
+)
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(4, 5, false, 1)
+	if g.NumNodes() != 20 {
+		t.Fatalf("NumNodes = %d, want 20", g.NumNodes())
+	}
+	// 4x5 grid: horizontal edges 4*4=16, vertical 3*5=15, doubled = 62.
+	if g.NumEdges() != 62 {
+		t.Fatalf("NumEdges = %d, want 62", g.NumEdges())
+	}
+	if g.MaxDegree() > 4 {
+		t.Fatalf("grid max degree = %d, want <= 4", g.MaxDegree())
+	}
+	labels := graph.ReferenceComponents(g)
+	if graph.NumComponents(labels) != 1 {
+		t.Fatal("grid must be connected")
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a := Grid(6, 6, true, 7)
+	b := Grid(6, 6, true, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different grids")
+	}
+	for n := 0; n < a.NumNodes(); n++ {
+		wa, wb := a.EdgeWeights(graph.NodeID(n)), b.EdgeWeights(graph.NodeID(n))
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}
+
+func TestGridHighDiameter(t *testing.T) {
+	g := Grid(20, 20, false, 1)
+	if d := ApproxDiameter(g); d < 30 {
+		t.Fatalf("20x20 grid diameter estimate = %d, want >= 30", d)
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	g := RMAT(10, 8, false, 5)
+	if g.NumNodes() != 1024 {
+		t.Fatalf("NumNodes = %d, want 1024", g.NumNodes())
+	}
+	stats := g.ComputeStats()
+	// Power law: max degree far exceeds average degree.
+	if float64(stats.MaxDegree) < 8*stats.AvgDegree {
+		t.Fatalf("max degree %d not skewed vs avg %.1f", stats.MaxDegree, stats.AvgDegree)
+	}
+	// Low diameter compared to a grid of similar size.
+	if d := ApproxDiameter(g); d > 15 {
+		t.Fatalf("RMAT diameter estimate = %d, want small", d)
+	}
+}
+
+func TestRMATSymmetric(t *testing.T) {
+	g := RMAT(8, 4, false, 9)
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, v := range g.Neighbors(graph.NodeID(n)) {
+			if !g.HasEdge(v, graph.NodeID(n)) {
+				t.Fatalf("edge %d->%d has no reverse", n, v)
+			}
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, b := RMAT(9, 4, true, 3), RMAT(9, 4, true, 3)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different RMAT graphs")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 400, false, 2)
+	if g.NumNodes() != 100 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 800 {
+		t.Fatalf("NumEdges = %d out of plausible range", g.NumEdges())
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(50, false, 1)
+	if g.NumEdges() != 98 {
+		t.Fatalf("chain edges = %d, want 98", g.NumEdges())
+	}
+	if d := ApproxDiameter(g); d != 49 {
+		t.Fatalf("chain diameter = %d, want 49", d)
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(100)
+	if g.Degree(0) != 99 {
+		t.Fatalf("hub degree = %d, want 99", g.Degree(0))
+	}
+	if g.MaxDegree() != 99 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+}
+
+func TestCommunitiesQuality(t *testing.T) {
+	g := Communities(4, 50, 6, 1, false, 11)
+	if g.NumNodes() != 200 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	truth := make([]graph.NodeID, 200)
+	for i := range truth {
+		truth[i] = graph.NodeID(i / 50)
+	}
+	q := graph.Modularity(g, truth)
+	if q < 0.4 {
+		t.Fatalf("planted partition modularity = %.3f, want > 0.4", q)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, p := range Presets {
+		g := BuildSmall(p)
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Errorf("preset %s produced empty graph", p)
+		}
+		if !g.Weighted() {
+			t.Errorf("preset %s should be weighted", p)
+		}
+	}
+}
+
+func TestPresetGraphClasses(t *testing.T) {
+	road := BuildSmall(RoadEurope)
+	social := BuildSmall(Friendster)
+	if road.MaxDegree() > 4 {
+		t.Errorf("road analogue max degree %d, want <= 4", road.MaxDegree())
+	}
+	rs, ss := road.ComputeStats(), social.ComputeStats()
+	if float64(ss.MaxDegree)/ss.AvgDegree < float64(rs.MaxDegree)/rs.AvgDegree {
+		t.Error("social analogue should be more degree-skewed than road")
+	}
+	if ApproxDiameter(road) <= ApproxDiameter(social) {
+		t.Error("road analogue should have larger diameter than social")
+	}
+}
+
+func TestApproxDiameterEmpty(t *testing.T) {
+	var g graph.Graph
+	if d := ApproxDiameter(&g); d != 0 {
+		t.Fatalf("empty diameter = %d", d)
+	}
+}
+
+func TestUnknownPresetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown preset")
+		}
+	}()
+	Build(Preset("nope"))
+}
+
+func TestLoadSpecs(t *testing.T) {
+	g, err := Load("small:friendster")
+	if err != nil || g.NumNodes() == 0 {
+		t.Fatalf("small preset: %v", err)
+	}
+	if _, err := Load("small:nope"); err == nil {
+		t.Fatal("unknown small preset accepted")
+	}
+	if _, err := Load("/definitely/not/a/file"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Round-trip through an edge-list file.
+	path := t.TempDir() + "/g.el"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := Grid(4, 4, false, 1)
+	if err := graph.WriteEdgeList(f, small); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != small.NumNodes() || loaded.NumEdges() != small.NumEdges() {
+		t.Fatal("file round trip mismatch")
+	}
+}

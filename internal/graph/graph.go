@@ -1,0 +1,297 @@
+// Package graph provides the in-memory graph representation used throughout
+// Kimbap: a compressed sparse row (CSR) adjacency structure over 32-bit node
+// IDs with optional edge weights.
+//
+// Graphs in Kimbap are directed at the representation level; undirected
+// graphs are stored in symmetrized form (each undirected edge appears as two
+// directed edges). All algorithms in the paper operate on symmetrized graphs.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node in a graph. IDs are dense: a graph with n nodes
+// uses IDs 0..n-1.
+type NodeID uint32
+
+// InvalidNode is a sentinel value that is never a valid node ID.
+const InvalidNode = NodeID(math.MaxUint32)
+
+// Edge is a directed edge with an optional weight. Weights default to 1 for
+// unweighted graphs.
+type Edge struct {
+	Src, Dst NodeID
+	Weight   float64
+}
+
+// Graph is an immutable directed graph in CSR form. Construct one with a
+// Builder or one of the loaders; the zero value is an empty graph.
+type Graph struct {
+	offsets []int64   // len = NumNodes()+1; offsets[i]..offsets[i+1] index into dsts
+	dsts    []NodeID  // destination of each edge, grouped by source
+	weights []float64 // nil for unweighted graphs; else parallel to dsts
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the number of directed edges in the graph.
+func (g *Graph) NumEdges() int64 {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return g.offsets[len(g.offsets)-1]
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Degree returns the out-degree of node n.
+func (g *Graph) Degree(n NodeID) int {
+	return int(g.offsets[n+1] - g.offsets[n])
+}
+
+// Neighbors returns the destinations of all out-edges of node n.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	return g.dsts[g.offsets[n]:g.offsets[n+1]]
+}
+
+// EdgeWeights returns the weights of all out-edges of n, parallel to
+// Neighbors(n). It returns nil for unweighted graphs.
+func (g *Graph) EdgeWeights(n NodeID) []float64 {
+	if g.weights == nil {
+		return nil
+	}
+	return g.weights[g.offsets[n]:g.offsets[n+1]]
+}
+
+// EdgeRange returns the half-open range of edge indices for node n's
+// out-edges. Edge indices are stable and can index Dst and Weight.
+func (g *Graph) EdgeRange(n NodeID) (lo, hi int64) {
+	return g.offsets[n], g.offsets[n+1]
+}
+
+// Dst returns the destination of the edge with the given index.
+func (g *Graph) Dst(e int64) NodeID { return g.dsts[e] }
+
+// Weight returns the weight of the edge with the given index
+// (1 for unweighted graphs).
+func (g *Graph) Weight(e int64) float64 {
+	if g.weights == nil {
+		return 1
+	}
+	return g.weights[e]
+}
+
+// HasEdge reports whether a directed edge src->dst exists. Neighbor lists
+// are sorted by construction, so this is a binary search.
+func (g *Graph) HasEdge(src, dst NodeID) bool {
+	ns := g.Neighbors(src)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= dst })
+	return i < len(ns) && ns[i] == dst
+}
+
+// MaxDegree returns the largest out-degree of any node, and 0 for an
+// empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		if d := g.Degree(NodeID(n)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalWeight returns the sum of all edge weights (NumEdges for unweighted
+// graphs).
+func (g *Graph) TotalWeight() float64 {
+	if g.weights == nil {
+		return float64(g.NumEdges())
+	}
+	sum := 0.0
+	for _, w := range g.weights {
+		sum += w
+	}
+	return sum
+}
+
+// Stats summarizes a graph in the shape of the paper's Table 1.
+type Stats struct {
+	Nodes     int
+	Edges     int64
+	AvgDegree float64
+	MaxDegree int
+}
+
+// ComputeStats returns summary statistics for the graph.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), MaxDegree: g.MaxDegree()}
+	if s.Nodes > 0 {
+		s.AvgDegree = float64(s.Edges) / float64(s.Nodes)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d |E|/|V|=%.1f maxdeg=%d",
+		s.Nodes, s.Edges, s.AvgDegree, s.MaxDegree)
+}
+
+// Builder accumulates edges and produces an immutable CSR Graph.
+// It is not safe for concurrent use.
+type Builder struct {
+	numNodes int
+	edges    []Edge
+	weighted bool
+}
+
+// NewBuilder returns a Builder for a graph with the given number of nodes.
+func NewBuilder(numNodes int) *Builder {
+	return &Builder{numNodes: numNodes}
+}
+
+// AddEdge adds a directed unweighted edge (weight 1).
+func (b *Builder) AddEdge(src, dst NodeID) {
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: 1})
+}
+
+// AddWeightedEdge adds a directed edge with the given weight and marks the
+// graph as weighted.
+func (b *Builder) AddWeightedEdge(src, dst NodeID, w float64) {
+	b.weighted = true
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Symmetrize adds the reverse of every edge added so far, making the edge
+// set symmetric. Self-loops are not duplicated. Call before Build.
+func (b *Builder) Symmetrize() {
+	orig := len(b.edges)
+	for i := 0; i < orig; i++ {
+		e := b.edges[i]
+		if e.Src != e.Dst {
+			b.edges = append(b.edges, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+		}
+	}
+}
+
+// Dedup removes duplicate (src,dst) pairs, keeping the smallest weight.
+// Taking the minimum (rather than an arbitrary survivor) keeps symmetrized
+// graphs weight-symmetric: both directions of a multi-edge collapse to the
+// same value. Call before Build if the edge stream may contain duplicates.
+func (b *Builder) Dedup() {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].Src != b.edges[j].Src {
+			return b.edges[i].Src < b.edges[j].Src
+		}
+		if b.edges[i].Dst != b.edges[j].Dst {
+			return b.edges[i].Dst < b.edges[j].Dst
+		}
+		return b.edges[i].Weight < b.edges[j].Weight
+	})
+	out := b.edges[:0]
+	for i, e := range b.edges {
+		if i > 0 && e.Src == out[len(out)-1].Src && e.Dst == out[len(out)-1].Dst {
+			continue
+		}
+		out = append(out, e)
+	}
+	b.edges = out
+}
+
+// Build produces the CSR graph. The Builder must not be reused afterwards.
+// Neighbor lists are sorted by destination.
+func (b *Builder) Build() *Graph {
+	g := &Graph{offsets: make([]int64, b.numNodes+1)}
+	for _, e := range b.edges {
+		if int(e.Src) >= b.numNodes || int(e.Dst) >= b.numNodes {
+			panic(fmt.Sprintf("graph: edge %d->%d out of range for %d nodes",
+				e.Src, e.Dst, b.numNodes))
+		}
+		g.offsets[e.Src+1]++
+	}
+	for i := 1; i <= b.numNodes; i++ {
+		g.offsets[i] += g.offsets[i-1]
+	}
+	g.dsts = make([]NodeID, len(b.edges))
+	if b.weighted {
+		g.weights = make([]float64, len(b.edges))
+	}
+	cursor := make([]int64, b.numNodes)
+	copy(cursor, g.offsets[:b.numNodes])
+	for _, e := range b.edges {
+		at := cursor[e.Src]
+		cursor[e.Src]++
+		g.dsts[at] = e.Dst
+		if b.weighted {
+			g.weights[at] = e.Weight
+		}
+	}
+	// Sort each adjacency list by destination for deterministic iteration
+	// and binary-searchable HasEdge.
+	for n := 0; n < b.numNodes; n++ {
+		lo, hi := g.offsets[n], g.offsets[n+1]
+		if b.weighted {
+			sortAdjWeighted(g.dsts[lo:hi], g.weights[lo:hi])
+		} else {
+			sort.Slice(g.dsts[lo:hi], func(i, j int) bool {
+				return g.dsts[lo+int64(i)] < g.dsts[lo+int64(j)]
+			})
+		}
+	}
+	return g
+}
+
+func sortAdjWeighted(dsts []NodeID, ws []float64) {
+	idx := make([]int, len(dsts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return dsts[idx[i]] < dsts[idx[j]] })
+	nd := make([]NodeID, len(dsts))
+	nw := make([]float64, len(ws))
+	for i, k := range idx {
+		nd[i] = dsts[k]
+		nw[i] = ws[k]
+	}
+	copy(dsts, nd)
+	copy(ws, nw)
+}
+
+// FromEdges is a convenience constructor that builds a graph directly from
+// an edge slice.
+func FromEdges(numNodes int, edges []Edge, weighted bool) *Graph {
+	b := NewBuilder(numNodes)
+	for _, e := range edges {
+		if weighted {
+			b.AddWeightedEdge(e.Src, e.Dst, e.Weight)
+		} else {
+			b.AddEdge(e.Src, e.Dst)
+		}
+	}
+	return b.Build()
+}
+
+// Edges returns a copy of all edges in the graph in CSR order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for n := 0; n < g.NumNodes(); n++ {
+		lo, hi := g.EdgeRange(NodeID(n))
+		for e := lo; e < hi; e++ {
+			out = append(out, Edge{Src: NodeID(n), Dst: g.Dst(e), Weight: g.Weight(e)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: one edge per line, "src dst" or "src dst weight";
+// lines starting with '#' or '%' are comments. Node count is inferred as
+// max ID + 1 unless a leading "nodes N" directive is present.
+//
+// Binary format ("KMB1"): magic, node count, edge count, weighted flag,
+// CSR offsets, destinations, and (if weighted) weights, all little-endian.
+
+// ReadEdgeList parses a text edge list from r.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	weighted := false
+	numNodes := 0
+	maxID := NodeID(0)
+	seen := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "nodes" && len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad nodes directive %q: %w", line, err)
+			}
+			numNodes = n
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: malformed edge line %q", line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad src in %q: %w", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad dst in %q: %w", line, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad weight in %q: %w", line, err)
+			}
+			weighted = true
+		}
+		e := Edge{Src: NodeID(src), Dst: NodeID(dst), Weight: w}
+		edges = append(edges, e)
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+		seen = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if numNodes == 0 && seen {
+		numNodes = int(maxID) + 1
+	}
+	return FromEdges(numNodes, edges, weighted), nil
+}
+
+// WriteEdgeList writes g as a text edge list with a nodes directive,
+// suitable for ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "nodes %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		lo, hi := g.EdgeRange(NodeID(n))
+		for e := lo; e < hi; e++ {
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", n, g.Dst(e), g.Weight(e))
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", n, g.Dst(e))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+var binMagic = [4]byte{'K', 'M', 'B', '1'}
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(g.NumNodes()), uint64(g.NumEdges())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	wflag := uint8(0)
+	if g.Weighted() {
+		wflag = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, wflag); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.dsts); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	var nodes, edges uint64
+	if err := binary.Read(br, binary.LittleEndian, &nodes); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &edges); err != nil {
+		return nil, err
+	}
+	var wflag uint8
+	if err := binary.Read(br, binary.LittleEndian, &wflag); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		offsets: make([]int64, nodes+1),
+		dsts:    make([]NodeID, edges),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.dsts); err != nil {
+		return nil, err
+	}
+	if wflag == 1 {
+		g.weights = make([]float64, edges)
+		if err := binary.Read(br, binary.LittleEndian, g.weights); err != nil {
+			return nil, err
+		}
+	}
+	if g.offsets[len(g.offsets)-1] != int64(edges) {
+		return nil, fmt.Errorf("graph: corrupt offsets: last=%d want %d",
+			g.offsets[len(g.offsets)-1], edges)
+	}
+	return g, nil
+}
+
+// SaveBinary writes g to the named file in binary format.
+func SaveBinary(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteBinary(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a graph from a binary file written by SaveBinary.
+func LoadBinary(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,67 @@
+package graph
+
+// Structural transformations used by partitioning analyses and input
+// preparation: transposition, induced subgraphs, and degree histograms.
+
+// Transpose returns the graph with every edge reversed. For symmetric
+// graphs the result equals the input; for directed inputs it converts
+// between push- and pull-style adjacency (the IEC policy's view).
+func Transpose(g *Graph) *Graph {
+	b := NewBuilder(g.NumNodes())
+	weighted := g.Weighted()
+	for n := 0; n < g.NumNodes(); n++ {
+		lo, hi := g.EdgeRange(NodeID(n))
+		for e := lo; e < hi; e++ {
+			if weighted {
+				b.AddWeightedEdge(g.Dst(e), NodeID(n), g.Weight(e))
+			} else {
+				b.AddEdge(g.Dst(e), NodeID(n))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph on the given nodes (edges with both
+// endpoints in the set) and the mapping from new IDs to original IDs.
+// Nodes are renumbered densely in the order given; duplicate entries are
+// rejected by panicking, since they would silently alias.
+func InducedSubgraph(g *Graph, nodes []NodeID) (*Graph, []NodeID) {
+	newID := make(map[NodeID]NodeID, len(nodes))
+	for i, n := range nodes {
+		if _, dup := newID[n]; dup {
+			panic("graph: duplicate node in InducedSubgraph")
+		}
+		newID[n] = NodeID(i)
+	}
+	b := NewBuilder(len(nodes))
+	weighted := g.Weighted()
+	for _, n := range nodes {
+		lo, hi := g.EdgeRange(n)
+		for e := lo; e < hi; e++ {
+			d, ok := newID[g.Dst(e)]
+			if !ok {
+				continue
+			}
+			if weighted {
+				b.AddWeightedEdge(newID[n], d, g.Weight(e))
+			} else {
+				b.AddEdge(newID[n], d)
+			}
+		}
+	}
+	mapping := make([]NodeID, len(nodes))
+	copy(mapping, nodes)
+	return b.Build(), mapping
+}
+
+// DegreeHistogram returns counts of nodes per out-degree, indexed by
+// degree (length MaxDegree+1). Used to verify the power-law shape of
+// generated inputs.
+func DegreeHistogram(g *Graph) []int {
+	hist := make([]int, g.MaxDegree()+1)
+	for n := 0; n < g.NumNodes(); n++ {
+		hist[g.Degree(NodeID(n))]++
+	}
+	return hist
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransposeDirected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 3.5)
+	g := b.Build()
+	tp := Transpose(g)
+	if !tp.HasEdge(1, 0) || !tp.HasEdge(2, 1) {
+		t.Fatal("edges not reversed")
+	}
+	if tp.HasEdge(0, 1) {
+		t.Fatal("original edge survived transposition")
+	}
+	if w := tp.EdgeWeights(1)[0]; w != 2.5 {
+		t.Fatalf("weight lost: %v", w)
+	}
+}
+
+// Property: transposing twice restores the graph; transposing a symmetric
+// graph is an identity.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, r.Intn(40)+2, r.Intn(150), seed%2 == 0)
+		if !graphsEqual(g, Transpose(Transpose(g))) {
+			return false
+		}
+		b := NewBuilder(g.NumNodes())
+		for _, e := range g.Edges() {
+			b.AddWeightedEdge(e.Src, e.Dst, e.Weight)
+		}
+		b.Symmetrize()
+		b.Dedup()
+		sym := b.Build()
+		return graphsEqual(sym, Transpose(sym))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3; induce on {0,1,3}.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.Symmetrize()
+	g := b.Build()
+	sub, mapping := InducedSubgraph(g, []NodeID{0, 1, 3})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", sub.NumNodes())
+	}
+	// Only the 0-1 edge survives (both directions).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", sub.NumEdges())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 0) {
+		t.Fatal("0-1 edge missing")
+	}
+	if mapping[2] != 3 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+}
+
+func TestInducedSubgraphRejectsDuplicates(t *testing.T) {
+	g := mkTriangle(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate nodes accepted")
+		}
+	}()
+	InducedSubgraph(g, []NodeID{0, 0})
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star with 5 leaves: hub degree 5, leaves degree 1.
+	b := NewBuilder(6)
+	for i := 1; i <= 5; i++ {
+		b.AddEdge(0, NodeID(i))
+	}
+	b.Symmetrize()
+	g := b.Build()
+	hist := DegreeHistogram(g)
+	if hist[5] != 1 || hist[1] != 5 {
+		t.Fatalf("hist = %v", hist)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("histogram covers %d nodes", total)
+	}
+}

@@ -1,0 +1,220 @@
+// Package kvstore is a Memcached-like distributed in-memory key-value
+// store used as the baseline backend for the paper's MC runtime variant
+// (§6.4). Keys are strings (one of the overheads the paper attributes to
+// Memcached), values are opaque byte slices with a CAS version, and keys
+// are distributed across servers by modulo hashing with no awareness of
+// graph partitioning.
+//
+// Reductions are implemented the way the paper describes for Memcached:
+// fetch the canonical value, combine locally, and attempt a CAS, retrying
+// until it succeeds. The store counts operations, transferred bytes, and
+// CAS retries so experiments can attribute MC's slowdown.
+//
+// Substitution note: the real Memcached deployment runs server processes
+// reached over sockets; here servers are in-process shards reached through
+// synchronized method calls. Contention (CAS retries under concurrent
+// reducers) and per-operation key/metadata overheads — the effects the
+// ablation measures — are preserved.
+package kvstore
+
+import (
+	"bytes"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+const shardsPerServer = 16
+
+type entry struct {
+	value []byte
+	cas   uint64
+}
+
+type shard struct {
+	mu   sync.Mutex
+	data map[string]entry
+}
+
+// Server is one store node: a sharded concurrent map.
+type Server struct {
+	shards [shardsPerServer]shard
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	s := &Server{}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string]entry)
+	}
+	return s
+}
+
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.shards[h.Sum32()%shardsPerServer]
+}
+
+// Value is the result of a read: the bytes, the CAS token to use for
+// conditional writes, and whether the key existed.
+type Value struct {
+	Data []byte
+	CAS  uint64
+	OK   bool
+}
+
+func (s *Server) get(key string) Value {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.data[key]
+	if !ok {
+		return Value{}
+	}
+	return Value{Data: e.value, CAS: e.cas, OK: true}
+}
+
+func (s *Server) set(key string, value []byte) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.data[key]
+	sh.data[key] = entry{value: value, cas: e.cas + 1}
+}
+
+// add stores value only if the key is absent (Memcached's ADD).
+func (s *Server) add(key string, value []byte) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.data[key]; ok {
+		return false
+	}
+	sh.data[key] = entry{value: value, cas: 1}
+	return true
+}
+
+// cas stores value only if the entry's version still matches token.
+func (s *Server) cas(key string, value []byte, token uint64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.data[key]
+	if !ok || e.cas != token {
+		return false
+	}
+	sh.data[key] = entry{value: value, cas: token + 1}
+	return true
+}
+
+// Stats counts client-side operations for communication accounting.
+type Stats struct {
+	Gets       atomic.Int64
+	Sets       atomic.Int64
+	CASAttempt atomic.Int64
+	CASRetries atomic.Int64
+	Bytes      atomic.Int64
+}
+
+// Cluster is a set of servers plus client-side routing state. Clients on
+// all hosts share the cluster object; every operation routes to the server
+// chosen by modulo-hashing the key.
+type Cluster struct {
+	servers []*Server
+	// Stats are per client host, indexed by rank.
+	stats []Stats
+}
+
+// NewCluster creates numServers empty servers with per-host client stats
+// for numHosts hosts (usually equal, as in the paper's one server + one
+// client per host setup).
+func NewCluster(numServers, numHosts int) *Cluster {
+	c := &Cluster{servers: make([]*Server, numServers), stats: make([]Stats, numHosts)}
+	for i := range c.servers {
+		c.servers[i] = NewServer()
+	}
+	return c
+}
+
+// ServerFor returns the index of the server owning key.
+func (c *Cluster) ServerFor(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(len(c.servers)))
+}
+
+// Stats returns the operation counters for a client host.
+func (c *Cluster) Stats(host int) *Stats { return &c.stats[host] }
+
+// Get fetches a key on behalf of client host.
+func (c *Cluster) Get(host int, key string) Value {
+	st := &c.stats[host]
+	st.Gets.Add(1)
+	st.Bytes.Add(int64(len(key)))
+	v := c.servers[c.ServerFor(key)].get(key)
+	st.Bytes.Add(int64(len(v.Data)))
+	return v
+}
+
+// MGet fetches many keys (Memcached's batched get). The result is parallel
+// to keys.
+func (c *Cluster) MGet(host int, keys []string) []Value {
+	out := make([]Value, len(keys))
+	for i, k := range keys {
+		out[i] = c.Get(host, k)
+	}
+	return out
+}
+
+// Set unconditionally stores a value.
+func (c *Cluster) Set(host int, key string, value []byte) {
+	st := &c.stats[host]
+	st.Sets.Add(1)
+	st.Bytes.Add(int64(len(key) + len(value)))
+	c.servers[c.ServerFor(key)].set(key, value)
+}
+
+// Add stores a value only if the key is absent and reports success.
+func (c *Cluster) Add(host int, key string, value []byte) bool {
+	st := &c.stats[host]
+	st.Sets.Add(1)
+	st.Bytes.Add(int64(len(key) + len(value)))
+	return c.servers[c.ServerFor(key)].add(key, value)
+}
+
+// CAS attempts a conditional store and reports success.
+func (c *Cluster) CAS(host int, key string, value []byte, token uint64) bool {
+	st := &c.stats[host]
+	st.CASAttempt.Add(1)
+	st.Bytes.Add(int64(len(key) + len(value)))
+	return c.servers[c.ServerFor(key)].cas(key, value, token)
+}
+
+// Reduce implements the paper's Memcached reduction: fetch, combine with
+// op, CAS, and retry until the CAS lands. A missing key is initialized via
+// add-if-absent. It reports whether the stored value changed.
+func (c *Cluster) Reduce(host int, key string, value []byte,
+	op func(current, incoming []byte) []byte) (changed bool) {
+
+	st := &c.stats[host]
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			st.CASRetries.Add(1)
+		}
+		cur := c.Get(host, key)
+		if !cur.OK {
+			if c.Add(host, key, value) {
+				return true
+			}
+			continue // lost the race to another first writer; retry
+		}
+		merged := op(cur.Data, value)
+		if bytes.Equal(merged, cur.Data) {
+			return false
+		}
+		if c.CAS(host, key, merged, cur.CAS) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetSetBasics(t *testing.T) {
+	c := NewCluster(3, 1)
+	if v := c.Get(0, "missing"); v.OK {
+		t.Fatal("missing key reported present")
+	}
+	c.Set(0, "k", []byte("v1"))
+	v := c.Get(0, "k")
+	if !v.OK || string(v.Data) != "v1" {
+		t.Fatalf("Get = %+v", v)
+	}
+	c.Set(0, "k", []byte("v2"))
+	v2 := c.Get(0, "k")
+	if string(v2.Data) != "v2" || v2.CAS <= v.CAS {
+		t.Fatalf("overwrite did not bump CAS: %+v -> %+v", v, v2)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	c := NewCluster(2, 1)
+	c.Set(0, "k", []byte("a"))
+	v := c.Get(0, "k")
+	if !c.CAS(0, "k", []byte("b"), v.CAS) {
+		t.Fatal("CAS with fresh token failed")
+	}
+	if c.CAS(0, "k", []byte("c"), v.CAS) {
+		t.Fatal("CAS with stale token succeeded")
+	}
+	if got := c.Get(0, "k"); string(got.Data) != "b" {
+		t.Fatalf("value = %q, want b", got.Data)
+	}
+	if c.CAS(0, "absent", []byte("x"), 0) {
+		t.Fatal("CAS on absent key succeeded")
+	}
+}
+
+func TestAddSemantics(t *testing.T) {
+	c := NewCluster(1, 1)
+	if !c.Add(0, "k", []byte("first")) {
+		t.Fatal("Add to absent key failed")
+	}
+	if c.Add(0, "k", []byte("second")) {
+		t.Fatal("Add to present key succeeded")
+	}
+	if got := c.Get(0, "k"); string(got.Data) != "first" {
+		t.Fatalf("value = %q", got.Data)
+	}
+}
+
+func TestMGet(t *testing.T) {
+	c := NewCluster(4, 1)
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		c.Set(0, keys[i], []byte{byte(i)})
+	}
+	vals := c.MGet(0, keys)
+	for i, v := range vals {
+		if !v.OK || v.Data[0] != byte(i) {
+			t.Fatalf("MGet[%d] = %+v", i, v)
+		}
+	}
+}
+
+func TestServerForStable(t *testing.T) {
+	c := NewCluster(5, 1)
+	for _, k := range []string{"a", "b", "node:12345"} {
+		s1, s2 := c.ServerFor(k), c.ServerFor(k)
+		if s1 != s2 || s1 < 0 || s1 >= 5 {
+			t.Fatalf("ServerFor(%q) unstable or out of range: %d %d", k, s1, s2)
+		}
+	}
+}
+
+func sumOp(cur, in []byte) []byte {
+	a := binary.LittleEndian.Uint64(cur)
+	b := binary.LittleEndian.Uint64(in)
+	return binary.LittleEndian.AppendUint64(nil, a+b)
+}
+
+func TestReduceConcurrentSum(t *testing.T) {
+	// The MC ablation's central behaviour: many concurrent reducers on one
+	// hot key must serialize through CAS retries yet lose no updates.
+	c := NewCluster(2, 8)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	one := binary.LittleEndian.AppendUint64(nil, 1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(host int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Reduce(host, "hot", one, sumOp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	v := c.Get(0, "hot")
+	got := binary.LittleEndian.Uint64(v.Data)
+	if got != workers*perWorker {
+		t.Fatalf("lost updates: sum = %d, want %d", got, workers*perWorker)
+	}
+	var retries int64
+	for h := 0; h < 8; h++ {
+		retries += c.Stats(h).CASRetries.Load()
+	}
+	if retries == 0 {
+		t.Log("no CAS retries observed (low contention run); not failing")
+	}
+}
+
+func TestReduceOnAbsentKeyInitializes(t *testing.T) {
+	c := NewCluster(1, 1)
+	one := binary.LittleEndian.AppendUint64(nil, 7)
+	c.Reduce(0, "fresh", one, sumOp)
+	if got := binary.LittleEndian.Uint64(c.Get(0, "fresh").Data); got != 7 {
+		t.Fatalf("fresh reduce = %d, want 7", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := NewCluster(1, 2)
+	c.Set(0, "k", []byte("abc"))
+	c.Get(1, "k")
+	if c.Stats(0).Sets.Load() != 1 {
+		t.Fatal("set not counted on host 0")
+	}
+	if c.Stats(1).Gets.Load() != 1 {
+		t.Fatal("get not counted on host 1")
+	}
+	if c.Stats(0).Bytes.Load() == 0 || c.Stats(1).Bytes.Load() == 0 {
+		t.Fatal("bytes not counted")
+	}
+}
+
+// Property: set-then-get returns the stored bytes for arbitrary keys.
+func TestQuickSetGet(t *testing.T) {
+	c := NewCluster(3, 1)
+	f := func(key string, val []byte) bool {
+		c.Set(0, key, val)
+		got := c.Get(0, key)
+		return got.OK && string(got.Data) == string(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	// Gets, Sets, and CAS loops from many goroutines on overlapping keys
+	// must never corrupt values (each value always equals one writer's).
+	c := NewCluster(3, 8)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(host int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := fmt.Sprintf("k%d", i%7)
+				switch i % 3 {
+				case 0:
+					c.Set(host, key, []byte{byte(host)})
+				case 1:
+					if v := c.Get(host, key); v.OK && len(v.Data) != 1 && len(v.Data) != 8 {
+						t.Errorf("corrupt value length %d", len(v.Data))
+					}
+				case 2:
+					v := c.Get(host, key)
+					if v.OK {
+						c.CAS(host, key, []byte{byte(host)}, v.CAS)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestMGetMissingKeys(t *testing.T) {
+	c := NewCluster(2, 1)
+	c.Set(0, "present", []byte("x"))
+	vals := c.MGet(0, []string{"present", "absent"})
+	if !vals[0].OK || vals[1].OK {
+		t.Fatalf("MGet presence flags wrong: %+v", vals)
+	}
+}

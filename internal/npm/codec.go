@@ -1,0 +1,60 @@
+package npm
+
+import (
+	"kimbap/internal/comm"
+	"kimbap/internal/graph"
+)
+
+// Codec serializes fixed-size property values for synchronization
+// messages. Fixed sizes keep payload layout positional so broadcast
+// messages need no per-entry keys (the paper's metadata minimization).
+type Codec[V any] interface {
+	// Append serializes v onto b and returns the extended slice.
+	Append(b []byte, v V) []byte
+	// Read deserializes one value and returns the remaining bytes.
+	Read(b []byte) (V, []byte)
+	// Size returns the fixed encoded size in bytes.
+	Size() int
+}
+
+// NodeIDCodec encodes graph.NodeID values (the most common property type:
+// parents, labels, cluster representatives).
+type NodeIDCodec struct{}
+
+// Append implements Codec.
+func (NodeIDCodec) Append(b []byte, v graph.NodeID) []byte {
+	return comm.AppendUint32(b, uint32(v))
+}
+
+// Read implements Codec.
+func (NodeIDCodec) Read(b []byte) (graph.NodeID, []byte) {
+	u, rest := comm.ReadUint32(b)
+	return graph.NodeID(u), rest
+}
+
+// Size implements Codec.
+func (NodeIDCodec) Size() int { return 4 }
+
+// Uint64Codec encodes uint64 values.
+type Uint64Codec struct{}
+
+// Append implements Codec.
+func (Uint64Codec) Append(b []byte, v uint64) []byte { return comm.AppendUint64(b, v) }
+
+// Read implements Codec.
+func (Uint64Codec) Read(b []byte) (uint64, []byte) { return comm.ReadUint64(b) }
+
+// Size implements Codec.
+func (Uint64Codec) Size() int { return 8 }
+
+// Float64Codec encodes float64 values.
+type Float64Codec struct{}
+
+// Append implements Codec.
+func (Float64Codec) Append(b []byte, v float64) []byte { return comm.AppendFloat64(b, v) }
+
+// Read implements Codec.
+func (Float64Codec) Read(b []byte) (float64, []byte) { return comm.ReadFloat64(b) }
+
+// Size implements Codec.
+func (Float64Codec) Size() int { return 8 }

@@ -1,0 +1,31 @@
+package npm
+
+import "sync/atomic"
+
+// Conflict accounting. The paper measures thread conflicts through their
+// wall-clock cost on 48-core hosts; on smaller machines that cost
+// compresses, so the harness additionally counts the conflicts
+// themselves: a conflict is a reduction that found its shared-map shard
+// lock held by another thread. The conflict-free variants (Full, SGR+CF)
+// never take locks during reduce-compute and report zero by construction.
+//
+// The counter is process-global instrumentation; experiments reset it
+// around each measured run. MC-variant conflicts are counted separately
+// as CAS retries by the kvstore.
+var conflictCount atomic.Int64
+
+// ResetConflicts zeroes the shared-map conflict counter.
+func ResetConflicts() { conflictCount.Store(0) }
+
+// ConflictCount returns shared-map lock conflicts since the last reset.
+func ConflictCount() int64 { return conflictCount.Load() }
+
+// lockCounting acquires the shard lock, counting a conflict if it was
+// contended.
+func (sh *mapShard[V]) lockCounting() {
+	if sh.mu.TryLock() {
+		return
+	}
+	conflictCount.Add(1)
+	sh.mu.Lock()
+}

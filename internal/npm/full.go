@@ -1,0 +1,451 @@
+package npm
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"kimbap/internal/comm"
+	"kimbap/internal/graph"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+// fullMap is the Kimbap node-property map with all three runtime
+// optimizations from §4.2:
+//
+//   - GAR: master properties live in a dense vector indexed by
+//     (global - masterLo); requested remote properties live in parallel
+//     sorted arrays read by binary search (Figure 6).
+//   - CF: Reduce goes to per-thread maps; ReduceSync combines them with a
+//     disjoint key-range pass per thread, so no locks or CAS are ever
+//     needed (Figure 7).
+//   - SGR: one partial-aggregate message per host pair per round; partial
+//     values are gathered and reduced onto master values by key-range
+//     parallel loops.
+//
+// Pinned mirrors (PM) additionally materialize mirror proxies and replace
+// request/response traffic with one-way positional broadcasts carrying a
+// dirty bitmask and only the changed values (Gluon's metadata
+// minimization, exploiting the partition's temporal invariance).
+type fullMap[V comparable] struct {
+	h     *runtime.Host
+	hp    *partition.HostPartition
+	op    ReduceOp[V]
+	codec Codec[V]
+
+	masterLo graph.NodeID
+	masterHi graph.NodeID
+	masters  []V
+	// masterDirty tracks masters changed since the last broadcast, indexed
+	// by master-local ID.
+	masterDirty *runtime.Bitset
+
+	pinned  bool
+	mirrors []V // indexed by (local - NumMasters) when pinned
+
+	reqBits   *runtime.Bitset // global IDs requested this round
+	cacheKeys []graph.NodeID  // sorted requested remote IDs
+	cacheVals []V
+
+	tl       []*localMap[V] // per-thread reduce maps
+	combined []*localMap[V] // per-thread combine outputs (reused)
+
+	updated       atomic.Bool
+	updatedGlobal bool
+
+	trackReads bool
+	readMaster atomic.Int64
+	readRemote atomic.Int64
+}
+
+func newFullMap[V comparable](opts Options[V]) *fullMap[V] {
+	h := opts.Host
+	lo, hi := h.HP.MasterRangeGlobal()
+	m := &fullMap[V]{
+		h:           h,
+		hp:          h.HP,
+		op:          opts.Op,
+		codec:       opts.Codec,
+		masterLo:    lo,
+		masterHi:    hi,
+		masters:     make([]V, hi-lo),
+		masterDirty: runtime.NewBitset(int(hi - lo)),
+		reqBits:     runtime.NewBitset(h.HP.NumGlobalNodes()),
+		tl:          make([]*localMap[V], h.Threads),
+		combined:    make([]*localMap[V], h.Threads),
+	}
+	m.trackReads = opts.TrackReads
+	for t := range m.tl {
+		m.tl[t] = newLocalMap[V]()
+		m.combined[t] = newLocalMap[V]()
+	}
+	return m
+}
+
+// Read implements Map.
+func (m *fullMap[V]) Read(n graph.NodeID) V {
+	if n >= m.masterLo && n < m.masterHi {
+		if m.trackReads {
+			m.readMaster.Add(1)
+		}
+		return m.masters[n-m.masterLo]
+	}
+	if m.pinned {
+		if local, ok := m.hp.LocalID(n); ok && !m.hp.IsMaster(local) {
+			if m.trackReads {
+				m.readRemote.Add(1)
+			}
+			return m.mirrors[int(local)-m.hp.NumMasters]
+		}
+	}
+	i := sort.Search(len(m.cacheKeys), func(i int) bool { return m.cacheKeys[i] >= n })
+	if i < len(m.cacheKeys) && m.cacheKeys[i] == n {
+		if m.trackReads {
+			m.readRemote.Add(1)
+		}
+		return m.cacheVals[i]
+	}
+	panic(fmt.Sprintf("npm: host %d read of unmaterialized node %d (missing Request?)",
+		m.h.Rank, n))
+}
+
+// Reduce implements Map.
+func (m *fullMap[V]) Reduce(tid int, n graph.NodeID, v V) {
+	m.tl[tid].Reduce(n, v, m.op.Combine)
+}
+
+// Set implements Map.
+func (m *fullMap[V]) Set(n graph.NodeID, v V) {
+	if n >= m.masterLo && n < m.masterHi {
+		m.masters[n-m.masterLo] = v
+		return
+	}
+	if m.pinned {
+		if local, ok := m.hp.LocalID(n); ok && !m.hp.IsMaster(local) {
+			m.mirrors[int(local)-m.hp.NumMasters] = v
+		}
+	}
+}
+
+// InitSync implements Map. GAR sets master values in place, so there is
+// nothing to publish.
+func (m *fullMap[V]) InitSync() {}
+
+// Request implements Map.
+func (m *fullMap[V]) Request(n graph.NodeID) {
+	if n >= m.masterLo && n < m.masterHi {
+		return // master: always materialized
+	}
+	if m.pinned {
+		if local, ok := m.hp.LocalID(n); ok && !m.hp.IsMaster(local) {
+			return // pinned mirror: kept fresh by broadcasts
+		}
+	}
+	m.reqBits.Set(int(n))
+}
+
+// RequestSync implements Map (§4.1 request-sync phase).
+func (m *fullMap[V]) RequestSync() {
+	m.h.TimeRequest(func() {
+		numHosts := m.hp.NumHosts()
+		self := m.h.Rank
+
+		// Drain the request bitset into per-owner ID lists. ForEachSet
+		// ascends and owner ranges ascend, so each list is sorted and the
+		// host-order concatenation of all lists is globally sorted.
+		reqIDs := make([][]graph.NodeID, numHosts)
+		m.reqBits.ForEachSet(func(i int) {
+			o := m.hp.Owner(graph.NodeID(i))
+			reqIDs[o] = append(reqIDs[o], graph.NodeID(i))
+		})
+		m.reqBits.Clear()
+
+		// One request message per peer: the raw ID list.
+		out := make([][]byte, numHosts)
+		for o, ids := range reqIDs {
+			if o == self {
+				continue
+			}
+			buf := make([]byte, 0, 4*len(ids))
+			for _, id := range ids {
+				buf = comm.AppendUint32(buf, uint32(id))
+			}
+			out[o] = buf
+		}
+		in := comm.Exchange(m.h.EP, comm.TagRequest, out)
+
+		// Serve incoming requests positionally: the response carries only
+		// values, in the requester's ID order.
+		resp := make([][]byte, numHosts)
+		for o := 0; o < numHosts; o++ {
+			if o == self {
+				continue
+			}
+			req := in[o]
+			buf := make([]byte, 0, len(req)/4*m.codec.Size())
+			for len(req) > 0 {
+				var id uint32
+				id, req = comm.ReadUint32(req)
+				buf = m.codec.Append(buf, m.masters[graph.NodeID(id)-m.masterLo])
+			}
+			resp[o] = buf
+		}
+		got := comm.Exchange(m.h.EP, comm.TagResponse, resp)
+
+		// Materialize the remote cache: keys are our concatenated request
+		// lists (sorted by construction), values decode positionally.
+		total := 0
+		for o, ids := range reqIDs {
+			if o != self {
+				total += len(ids)
+			}
+		}
+		newKeys := make([]graph.NodeID, 0, total)
+		newVals := make([]V, 0, total)
+		for o := 0; o < numHosts; o++ {
+			if o == self {
+				continue
+			}
+			payload := got[o]
+			for _, id := range reqIDs[o] {
+				var v V
+				v, payload = m.codec.Read(payload)
+				newKeys = append(newKeys, id)
+				newVals = append(newVals, v)
+			}
+		}
+		// Successive RequestSyncs within one round accumulate: merge the
+		// fresh entries with any already-cached ones (both sorted). Fresh
+		// values win on overlap. The cache is dropped at ReduceSync.
+		m.mergeCache(newKeys, newVals)
+	})
+}
+
+// mergeCache merges sorted (keys, vals) into the sorted remote cache,
+// preferring the new values on duplicate keys.
+func (m *fullMap[V]) mergeCache(keys []graph.NodeID, vals []V) {
+	if len(m.cacheKeys) == 0 {
+		m.cacheKeys, m.cacheVals = keys, vals
+		return
+	}
+	if len(keys) == 0 {
+		return
+	}
+	mk := make([]graph.NodeID, 0, len(m.cacheKeys)+len(keys))
+	mv := make([]V, 0, len(m.cacheVals)+len(vals))
+	i, j := 0, 0
+	for i < len(m.cacheKeys) && j < len(keys) {
+		switch {
+		case m.cacheKeys[i] < keys[j]:
+			mk = append(mk, m.cacheKeys[i])
+			mv = append(mv, m.cacheVals[i])
+			i++
+		case m.cacheKeys[i] > keys[j]:
+			mk = append(mk, keys[j])
+			mv = append(mv, vals[j])
+			j++
+		default:
+			mk = append(mk, keys[j])
+			mv = append(mv, vals[j])
+			i++
+			j++
+		}
+	}
+	mk = append(mk, m.cacheKeys[i:]...)
+	mv = append(mv, m.cacheVals[i:]...)
+	mk = append(mk, keys[j:]...)
+	mv = append(mv, vals[j:]...)
+	m.cacheKeys, m.cacheVals = mk, mv
+}
+
+// ReduceSync implements Map (§4.1 reduce-sync phase with the Figure 7
+// conflict-free combine).
+func (m *fullMap[V]) ReduceSync() {
+	m.h.TimeComm(func() {
+		numHosts := m.hp.NumHosts()
+		self := m.h.Rank
+		threads := m.h.Threads
+		numGlobal := m.hp.NumGlobalNodes()
+
+		// Combine pass: thread t owns global key range [t*N/T, (t+1)*N/T)
+		// and scans every thread-local map for keys in its range. Ranges
+		// are disjoint, so no two threads touch the same key: conflict
+		// free by construction. Entries owned by this host are applied to
+		// the master vector directly (also conflict free, since a master
+		// key lives in exactly one range).
+		payloads := make([][][]byte, threads) // [tid][dest]
+		m.h.ParFor(threads, func(_, t int) {
+			rlo := graph.NodeID(uint64(t) * uint64(numGlobal) / uint64(threads))
+			rhi := graph.NodeID(uint64(t+1) * uint64(numGlobal) / uint64(threads))
+			out := m.combined[t]
+			out.Reset()
+			for _, src := range m.tl {
+				src.ForEach(func(k graph.NodeID, v V) {
+					if k >= rlo && k < rhi {
+						out.Reduce(k, v, m.op.Combine)
+					}
+				})
+			}
+			bufs := make([][]byte, numHosts)
+			out.ForEach(func(k graph.NodeID, v V) {
+				o := m.hp.Owner(k)
+				if o == self {
+					m.applyToMaster(k, v)
+					return
+				}
+				bufs[o] = comm.AppendUint32(bufs[o], uint32(k))
+				bufs[o] = m.codec.Append(bufs[o], v)
+			})
+			payloads[t] = bufs
+		})
+		for _, t := range m.tl {
+			t.Reset()
+		}
+
+		// Scatter: one message per host pair (concatenating the per-thread
+		// buffers; entry framing is self-delimiting).
+		out := make([][]byte, numHosts)
+		for o := 0; o < numHosts; o++ {
+			if o == self {
+				continue
+			}
+			var buf []byte
+			for t := 0; t < threads; t++ {
+				buf = append(buf, payloads[t][o]...)
+			}
+			out[o] = buf
+		}
+		in := comm.Exchange(m.h.EP, comm.TagReduce, out)
+
+		// Gather-reduce: thread t owns a master-ID range and scans every
+		// incoming payload for keys in its range, applying without locks.
+		entrySize := 4 + m.codec.Size()
+		nMasters := len(m.masters)
+		m.h.ParFor(threads, func(_, t int) {
+			rlo := m.masterLo + graph.NodeID(uint64(t)*uint64(nMasters)/uint64(threads))
+			rhi := m.masterLo + graph.NodeID(uint64(t+1)*uint64(nMasters)/uint64(threads))
+			for o := 0; o < numHosts; o++ {
+				if o == self {
+					continue
+				}
+				payload := in[o]
+				for len(payload) >= entrySize {
+					var id uint32
+					id, payload = comm.ReadUint32(payload)
+					var v V
+					v, payload = m.codec.Read(payload)
+					k := graph.NodeID(id)
+					if k >= rlo && k < rhi {
+						m.applyToMaster(k, v)
+					}
+				}
+			}
+		})
+
+		// Cached remote properties are now stale (§4.1): drop them.
+		m.cacheKeys = nil
+		m.cacheVals = nil
+	})
+}
+
+// applyToMaster merges v into the canonical master value, tracking change
+// for IsUpdated and the broadcast dirty set. Only ever called from the
+// thread owning k's key range, so the read-modify-write is race free.
+func (m *fullMap[V]) applyToMaster(k graph.NodeID, v V) {
+	i := k - m.masterLo
+	old := m.masters[i]
+	nv := m.op.Combine(old, v)
+	if nv != old {
+		m.masters[i] = nv
+		m.updated.Store(true)
+		m.masterDirty.Set(int(i))
+	}
+}
+
+// BroadcastSync implements Map: positional dirty-bitmask broadcast of
+// changed master values to pinned mirrors.
+func (m *fullMap[V]) BroadcastSync() {
+	if !m.pinned {
+		panic("npm: BroadcastSync without PinMirrors")
+	}
+	m.broadcast(false)
+}
+
+func (m *fullMap[V]) broadcast(full bool) {
+	m.h.TimeBroadcast(func() {
+		numHosts := m.hp.NumHosts()
+		self := m.h.Rank
+
+		out := make([][]byte, numHosts)
+		for o := 0; o < numHosts; o++ {
+			if o == self {
+				continue
+			}
+			list := m.hp.MasterSendTo[o]
+			mask := make([]byte, (len(list)+7)/8)
+			var vals []byte
+			for i, local := range list {
+				if full || m.masterDirty.Test(int(local)) {
+					mask[i/8] |= 1 << (uint(i) % 8)
+					vals = m.codec.Append(vals, m.masters[local])
+				}
+			}
+			out[o] = append(mask, vals...)
+		}
+		m.masterDirty.Clear()
+		in := comm.Exchange(m.h.EP, comm.TagBroadcast, out)
+
+		for o := 0; o < numHosts; o++ {
+			if o == self {
+				continue
+			}
+			list := m.hp.MirrorsByOwner[o]
+			payload := in[o]
+			maskLen := (len(list) + 7) / 8
+			mask := payload[:maskLen]
+			payload = payload[maskLen:]
+			for i, local := range list {
+				if mask[i/8]&(1<<(uint(i)%8)) != 0 {
+					var v V
+					v, payload = m.codec.Read(payload)
+					m.mirrors[int(local)-m.hp.NumMasters] = v
+				}
+			}
+		}
+	})
+}
+
+// PinMirrors implements Map: materialize mirrors and fill them with a full
+// broadcast.
+func (m *fullMap[V]) PinMirrors() {
+	if m.pinned {
+		return
+	}
+	m.mirrors = make([]V, m.hp.NumMirrors())
+	m.masterDirty.Clear()
+	m.pinned = true
+	m.broadcast(true)
+}
+
+// UnpinMirrors implements Map.
+func (m *fullMap[V]) UnpinMirrors() {
+	m.pinned = false
+	m.mirrors = nil
+}
+
+// ResetUpdated implements Map.
+func (m *fullMap[V]) ResetUpdated() { m.updated.Store(false) }
+
+// IsUpdated implements Map (collective OR across hosts).
+func (m *fullMap[V]) IsUpdated() bool {
+	m.h.TimeComm(func() {
+		m.updatedGlobal = comm.AllReduceBool(m.h.EP, m.updated.Load())
+	})
+	return m.updatedGlobal
+}
+
+// ReadStats implements Map.
+func (m *fullMap[V]) ReadStats() (master, remote int64) {
+	return m.readMaster.Load(), m.readRemote.Load()
+}

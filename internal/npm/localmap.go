@@ -1,0 +1,127 @@
+package npm
+
+import "kimbap/internal/graph"
+
+// localMap is the open-addressing hash map used for thread-local
+// conflict-free reductions (Figure 7) and for the hash-distributed
+// variants' storage. It maps graph.NodeID keys to V values with linear
+// probing; graph.InvalidNode marks empty slots. It is NOT safe for
+// concurrent use — that is the point: each thread owns one.
+//
+// Occupied slots are tracked in insertion order so iteration and reset
+// cost O(entries), not O(capacity) — BSP rounds late in a computation
+// often carry a handful of updates in a map that grew large early on.
+type localMap[V any] struct {
+	keys []graph.NodeID
+	vals []V
+	used []uint32 // occupied slots, insertion order
+	mask uint32
+}
+
+const localMapMinCap = 16
+
+// newLocalMap creates an empty map with a small initial capacity.
+func newLocalMap[V any]() *localMap[V] {
+	m := &localMap[V]{}
+	m.init(localMapMinCap)
+	return m
+}
+
+func (m *localMap[V]) init(capacity int) {
+	m.keys = make([]graph.NodeID, capacity)
+	m.vals = make([]V, capacity)
+	for i := range m.keys {
+		m.keys[i] = graph.InvalidNode
+	}
+	m.used = m.used[:0]
+	m.mask = uint32(capacity - 1)
+}
+
+// hash is a 32-bit Fibonacci hash; node IDs are often sequential, so
+// multiplicative spreading matters for probe lengths.
+func (m *localMap[V]) slot(key graph.NodeID) uint32 {
+	return (uint32(key) * 2654435769) & m.mask
+}
+
+// Len returns the number of entries.
+func (m *localMap[V]) Len() int { return len(m.used) }
+
+// Get returns the value stored for key.
+func (m *localMap[V]) Get(key graph.NodeID) (V, bool) {
+	i := m.slot(key)
+	for {
+		k := m.keys[i]
+		if k == key {
+			return m.vals[i], true
+		}
+		if k == graph.InvalidNode {
+			var zero V
+			return zero, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Reduce merges v into the entry for key with op, inserting v if absent.
+func (m *localMap[V]) Reduce(key graph.NodeID, v V, op func(a, b V) V) {
+	i := m.slot(key)
+	for {
+		k := m.keys[i]
+		if k == key {
+			m.vals[i] = op(m.vals[i], v)
+			return
+		}
+		if k == graph.InvalidNode {
+			m.keys[i] = key
+			m.vals[i] = v
+			m.used = append(m.used, i)
+			if len(m.used)*10 >= len(m.keys)*7 {
+				m.grow()
+			}
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Set stores v for key, overwriting any existing value.
+func (m *localMap[V]) Set(key graph.NodeID, v V) {
+	m.Reduce(key, v, func(_, b V) V { return b })
+}
+
+func (m *localMap[V]) grow() {
+	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
+	m.used = nil
+	m.init(len(oldKeys) * 2)
+	for _, s := range oldUsed {
+		m.insertFresh(oldKeys[s], oldVals[s])
+	}
+}
+
+func (m *localMap[V]) insertFresh(key graph.NodeID, v V) {
+	i := m.slot(key)
+	for m.keys[i] != graph.InvalidNode {
+		i = (i + 1) & m.mask
+	}
+	m.keys[i] = key
+	m.vals[i] = v
+	m.used = append(m.used, i)
+}
+
+// ForEach calls fn for every entry in insertion order.
+func (m *localMap[V]) ForEach(fn func(key graph.NodeID, v V)) {
+	for _, s := range m.used {
+		fn(m.keys[s], m.vals[s])
+	}
+}
+
+// Reset removes all entries but keeps the allocated capacity, the common
+// case between BSP rounds. Cost is proportional to the entry count.
+func (m *localMap[V]) Reset() {
+	var zero V
+	for _, s := range m.used {
+		m.keys[s] = graph.InvalidNode
+		m.vals[s] = zero
+	}
+	m.used = m.used[:0]
+}

@@ -1,0 +1,164 @@
+package npm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kimbap/internal/graph"
+)
+
+func TestLocalMapBasics(t *testing.T) {
+	m := newLocalMap[uint64]()
+	if m.Len() != 0 {
+		t.Fatal("new map not empty")
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Set(5, 50)
+	m.Set(7, 70)
+	if v, ok := m.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	m.Set(5, 55)
+	if v, _ := m.Get(5); v != 55 {
+		t.Fatalf("overwrite failed: %d", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestLocalMapReduce(t *testing.T) {
+	m := newLocalMap[uint64]()
+	sum := func(a, b uint64) uint64 { return a + b }
+	m.Reduce(3, 10, sum)
+	m.Reduce(3, 5, sum)
+	if v, _ := m.Get(3); v != 15 {
+		t.Fatalf("reduce sum = %d, want 15", v)
+	}
+}
+
+func TestLocalMapGrowth(t *testing.T) {
+	m := newLocalMap[int]()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m.Set(graph.NodeID(i*7), i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(graph.NodeID(i * 7)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v after growth", i*7, v, ok)
+		}
+	}
+}
+
+func TestLocalMapReset(t *testing.T) {
+	m := newLocalMap[int]()
+	for i := 0; i < 100; i++ {
+		m.Set(graph.NodeID(i), i)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatal("Reset left entries")
+	}
+	if _, ok := m.Get(50); ok {
+		t.Fatal("Reset left a readable value")
+	}
+	m.Set(1, 2)
+	if v, _ := m.Get(1); v != 2 {
+		t.Fatal("map unusable after Reset")
+	}
+}
+
+func TestLocalMapForEach(t *testing.T) {
+	m := newLocalMap[int]()
+	want := map[graph.NodeID]int{1: 10, 100: 20, 65535: 30}
+	for k, v := range want {
+		m.Set(k, v)
+	}
+	got := map[graph.NodeID]int{}
+	m.ForEach(func(k graph.NodeID, v int) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("ForEach[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// Property: localMap agrees with the built-in map under a random workload.
+func TestQuickLocalMapVsBuiltin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := newLocalMap[uint64]()
+		ref := map[graph.NodeID]uint64{}
+		sum := func(a, b uint64) uint64 { return a + b }
+		for i := 0; i < 500; i++ {
+			k := graph.NodeID(r.Intn(200))
+			switch r.Intn(3) {
+			case 0:
+				v := uint64(r.Intn(100))
+				m.Set(k, v)
+				ref[k] = v
+			case 1:
+				v := uint64(r.Intn(100))
+				m.Reduce(k, v, sum)
+				ref[k] += v
+			case 2:
+				got, ok := m.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		count := 0
+		bad := false
+		m.ForEach(func(k graph.NodeID, v uint64) {
+			count++
+			if ref[k] != v {
+				bad = true
+			}
+		})
+		return !bad && count == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedMapBasics(t *testing.T) {
+	s := newShardedMap[uint64]()
+	s.Set(1, 10)
+	s.Reduce(1, 5, func(a, b uint64) uint64 { return a + b })
+	if v, ok := s.Get(1); !ok || v != 15 {
+		t.Fatalf("sharded reduce = %d,%v", v, ok)
+	}
+	if !s.ReduceChanged(1, 5, func(a, b uint64) uint64 { return a + b }) {
+		t.Fatal("changing reduce reported unchanged")
+	}
+	if s.ReduceChanged(1, 0, func(a, b uint64) uint64 { return a + b }) {
+		t.Fatal("no-op reduce reported changed")
+	}
+	if !s.ReduceChanged(99, 7, func(a, b uint64) uint64 { return a + b }) {
+		t.Fatal("insert reduce reported unchanged")
+	}
+	total := 0
+	s.ForEach(func(_ graph.NodeID, _ uint64) { total++ })
+	if total != 2 {
+		t.Fatalf("ForEach count = %d", total)
+	}
+	s.Reset()
+	if _, ok := s.Get(1); ok {
+		t.Fatal("Reset left entries")
+	}
+}

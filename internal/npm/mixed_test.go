@@ -1,0 +1,146 @@
+package npm
+
+import (
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/kvstore"
+	"kimbap/internal/runtime"
+)
+
+// Mixed-flow scenarios: pinned mirrors interleaved with explicit requests,
+// multiple reduce/broadcast rounds, and multiple maps per program — the
+// access patterns the real algorithms combine.
+
+func TestPinnedAndRequestedCoexist(t *testing.T) {
+	g := gen.RMAT(7, 4, false, 9)
+	for _, v := range Variants {
+		t.Run(string(v), func(t *testing.T) {
+			runVariant(t, g, 3, v, func(h *runtime.Host, m Map[graph.NodeID]) {
+				initIdentity(h, m)
+				m.PinMirrors()
+				// Request an arbitrary non-proxy node alongside pinned
+				// mirrors, then read both kinds in the same phase.
+				n := h.HP.NumGlobalNodes()
+				for i := 0; i < n; i++ {
+					m.Request(graph.NodeID(i))
+				}
+				m.RequestSync()
+				for i := 0; i < n; i++ {
+					if got := m.Read(graph.NodeID(i)); got != graph.NodeID(i) {
+						t.Errorf("host %d: Read(%d) = %d", h.Rank, i, got)
+					}
+				}
+				m.UnpinMirrors()
+			})
+		})
+	}
+}
+
+func TestMultiRoundReduceBroadcast(t *testing.T) {
+	// Chain min-propagation purely through the map API: after k rounds,
+	// node i's value is min over the window [i-k, i].
+	g := gen.Chain(32, false, 1)
+	runVariant(t, g, 2, Full, func(h *runtime.Host, m Map[graph.NodeID]) {
+		initIdentity(h, m)
+		m.PinMirrors()
+		local := h.HP.Local
+		const rounds = 5
+		for r := 0; r < rounds; r++ {
+			m.ResetUpdated()
+			h.ParForNodes(func(tid int, n graph.NodeID) {
+				gid := h.HP.GlobalID(n)
+				v := m.Read(gid)
+				lo, hi := local.EdgeRange(n)
+				for e := lo; e < hi; e++ {
+					dgid := h.HP.GlobalID(local.Dst(e))
+					if v < m.Read(dgid) {
+						m.Reduce(tid, dgid, v)
+					}
+				}
+			})
+			m.ReduceSync()
+			m.BroadcastSync()
+		}
+		m.UnpinMirrors()
+		lo, hi := h.HP.MasterRangeGlobal()
+		for gid := lo; gid < hi; gid++ {
+			m.Request(gid)
+		}
+		m.RequestSync()
+		for gid := lo; gid < hi; gid++ {
+			want := graph.NodeID(0)
+			if int(gid) > rounds {
+				want = gid - rounds
+			}
+			if got := m.Read(gid); got != want {
+				t.Errorf("host %d: after %d rounds node %d = %d, want %d",
+					h.Rank, rounds, gid, got, want)
+			}
+		}
+	})
+}
+
+func TestTwoMapsIndependentSync(t *testing.T) {
+	// Two maps on the same host must not interfere: alternating collective
+	// calls on each with different reduce ops.
+	g := gen.Grid(5, 5, false, 1)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2, ThreadsPerHost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(func(h *runtime.Host) {
+		minMap := New(Options[graph.NodeID]{Host: h, Op: MinNodeID(), Codec: NodeIDCodec{}})
+		maxMap := New(Options[graph.NodeID]{Host: h, Op: MaxNodeID(), Codec: NodeIDCodec{}})
+		initIdentity(h, minMap)
+		initIdentity(h, maxMap)
+		minMap.Reduce(0, 5, 1)
+		maxMap.Reduce(0, 5, 20)
+		minMap.ReduceSync()
+		maxMap.ReduceSync()
+		minMap.Request(5)
+		maxMap.Request(5)
+		minMap.RequestSync()
+		maxMap.RequestSync()
+		if got := minMap.Read(5); got != 1 {
+			t.Errorf("host %d: min map = %d, want 1", h.Rank, got)
+		}
+		if got := maxMap.Read(5); got != 20 {
+			t.Errorf("host %d: max map = %d, want 20", h.Rank, got)
+		}
+	})
+}
+
+func TestMCMapsShareOneStore(t *testing.T) {
+	// Multiple MC maps namespace their keys in a shared store; values must
+	// not collide.
+	g := gen.Grid(4, 4, false, 1)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	store := kvstore.NewCluster(2, 2)
+	c.Run(func(h *runtime.Host) {
+		a := New(Options[graph.NodeID]{
+			Host: h, Op: MinNodeID(), Codec: NodeIDCodec{}, Variant: MC, Store: store,
+		})
+		b := New(Options[graph.NodeID]{
+			Host: h, Op: MinNodeID(), Codec: NodeIDCodec{}, Variant: MC, Store: store,
+		})
+		if h.Rank == 0 {
+			a.Set(3, 111)
+			b.Set(3, 222)
+		}
+		a.InitSync()
+		b.InitSync()
+		if got := a.Read(3); got != 111 {
+			t.Errorf("host %d: map a node 3 = %d", h.Rank, got)
+		}
+		if got := b.Read(3); got != 222 {
+			t.Errorf("host %d: map b node 3 = %d", h.Rank, got)
+		}
+	})
+}

@@ -1,0 +1,379 @@
+package npm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/kvstore"
+	"kimbap/internal/runtime"
+)
+
+// newMapForHost constructs a map of the given variant on a host, wiring in
+// a store when MC needs one.
+func newMapForHost(h *runtime.Host, v Variant, store MCStore) Map[graph.NodeID] {
+	return New(Options[graph.NodeID]{
+		Host:    h,
+		Op:      MinNodeID(),
+		Codec:   NodeIDCodec{},
+		Variant: v,
+		Store:   store,
+	})
+}
+
+// runVariant builds a cluster over g and runs prog with a fresh map of the
+// given variant on each host.
+func runVariant(t *testing.T, g *graph.Graph, hosts int, v Variant,
+	prog func(h *runtime.Host, m Map[graph.NodeID])) {
+	t.Helper()
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: hosts, ThreadsPerHost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	store := kvstore.NewCluster(hosts, hosts)
+	c.Run(func(h *runtime.Host) {
+		prog(h, newMapForHost(h, v, store))
+	})
+}
+
+// initIdentity sets every local proxy's property to its own global ID and
+// publishes (the Figure 4 initialization loop).
+func initIdentity(h *runtime.Host, m Map[graph.NodeID]) {
+	h.ParForNodes(func(tid int, local graph.NodeID) {
+		gid := h.HP.GlobalID(local)
+		m.Set(gid, gid)
+	})
+	m.InitSync()
+}
+
+func TestVariantsList(t *testing.T) {
+	if len(Variants) != 4 {
+		t.Fatalf("expected 4 variants, got %d", len(Variants))
+	}
+}
+
+func TestSetThenReadAllVariants(t *testing.T) {
+	g := gen.Grid(6, 6, false, 1)
+	for _, v := range Variants {
+		t.Run(string(v), func(t *testing.T) {
+			runVariant(t, g, 3, v, func(h *runtime.Host, m Map[graph.NodeID]) {
+				initIdentity(h, m)
+				// Every host reads its own masters. Non-GAR variants hash
+				// properties elsewhere, so the reads must be requested;
+				// on Full these requests are no-ops (master locality).
+				lo, hi := h.HP.MasterRangeGlobal()
+				for n := lo; n < hi; n++ {
+					m.Request(n)
+				}
+				m.RequestSync()
+				for n := lo; n < hi; n++ {
+					if got := m.Read(n); got != n {
+						t.Errorf("host %d: Read(%d) = %d", h.Rank, n, got)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestRequestReadRemoteAllVariants(t *testing.T) {
+	g := gen.Grid(6, 6, false, 1)
+	for _, v := range Variants {
+		t.Run(string(v), func(t *testing.T) {
+			runVariant(t, g, 3, v, func(h *runtime.Host, m Map[graph.NodeID]) {
+				initIdentity(h, m)
+				// Every host requests every global node, then reads all.
+				for n := 0; n < h.HP.NumGlobalNodes(); n++ {
+					m.Request(graph.NodeID(n))
+				}
+				m.RequestSync()
+				for n := 0; n < h.HP.NumGlobalNodes(); n++ {
+					if got := m.Read(graph.NodeID(n)); got != graph.NodeID(n) {
+						t.Errorf("host %d: remote Read(%d) = %d", h.Rank, n, got)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestReduceVisibleNextRoundAllVariants(t *testing.T) {
+	g := gen.Grid(6, 6, false, 1)
+	for _, v := range Variants {
+		t.Run(string(v), func(t *testing.T) {
+			runVariant(t, g, 4, v, func(h *runtime.Host, m Map[graph.NodeID]) {
+				initIdentity(h, m)
+				m.ResetUpdated()
+				// All hosts min-reduce distinct values onto node 0; the
+				// minimum (0 stays 0)... use target node 10 with values
+				// rank+1 so min is 1.
+				h.ParFor(h.Threads, func(tid, _ int) {
+					m.Reduce(tid, 10, graph.NodeID(h.Rank+1))
+				})
+				m.ReduceSync()
+				if !m.IsUpdated() {
+					t.Errorf("host %d: reduce to smaller value not flagged", h.Rank)
+				}
+				m.Request(10)
+				m.RequestSync()
+				if got := m.Read(10); got != 1 {
+					t.Errorf("host %d: Read(10) = %d, want 1", h.Rank, got)
+				}
+			})
+		})
+	}
+}
+
+func TestNoOpReduceNotUpdatedAllVariants(t *testing.T) {
+	g := gen.Grid(4, 4, false, 1)
+	for _, v := range Variants {
+		t.Run(string(v), func(t *testing.T) {
+			runVariant(t, g, 2, v, func(h *runtime.Host, m Map[graph.NodeID]) {
+				initIdentity(h, m)
+				m.ResetUpdated()
+				// min-reduce a LARGER value: must not count as update.
+				m.Reduce(0, 3, graph.NodeID(h.HP.NumGlobalNodes()-1))
+				m.ReduceSync()
+				if m.IsUpdated() {
+					t.Errorf("host %d: no-op reduce flagged as update", h.Rank)
+				}
+			})
+		})
+	}
+}
+
+func TestPinMirrorsBroadcastAllVariants(t *testing.T) {
+	g := gen.Grid(6, 6, false, 1)
+	for _, v := range Variants {
+		t.Run(string(v), func(t *testing.T) {
+			runVariant(t, g, 3, v, func(h *runtime.Host, m Map[graph.NodeID]) {
+				initIdentity(h, m)
+				m.PinMirrors()
+				// Mirror reads see initial values.
+				for l := h.HP.NumMasters; l < h.HP.NumLocal(); l++ {
+					gid := h.HP.GlobalID(graph.NodeID(l))
+					if got := m.Read(gid); got != gid {
+						t.Errorf("host %d: pinned mirror Read(%d) = %d", h.Rank, gid, got)
+					}
+				}
+				// Reduce node 1 to 0 everywhere, sync + broadcast.
+				m.ResetUpdated()
+				m.Reduce(0, 1, 0)
+				m.ReduceSync()
+				m.BroadcastSync()
+				// Any host having node 1 as master or mirror must see 0.
+				// Non-GAR variants need the read requested even for the
+				// host's own partition masters; no-op elsewhere.
+				m.Request(1)
+				m.RequestSync()
+				if _, ok := h.HP.LocalID(1); ok {
+					if got := m.Read(1); got != 0 {
+						t.Errorf("host %d: after broadcast Read(1) = %d, want 0", h.Rank, got)
+					}
+				}
+				m.UnpinMirrors()
+			})
+		})
+	}
+}
+
+func TestReadStatsCountMastersAndRemotes(t *testing.T) {
+	g := gen.Grid(6, 6, false, 1)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2, ThreadsPerHost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(func(h *runtime.Host) {
+		m := New(Options[graph.NodeID]{
+			Host: h, Op: MinNodeID(), Codec: NodeIDCodec{}, TrackReads: true,
+		})
+		readStatsScenario(t, h, m)
+	})
+}
+
+func TestReadStatsOffByDefault(t *testing.T) {
+	g := gen.Grid(4, 4, false, 1)
+	runVariant(t, g, 2, Full, func(h *runtime.Host, m Map[graph.NodeID]) {
+		initIdentity(h, m)
+		lo, _ := h.HP.MasterRangeGlobal()
+		m.Read(lo)
+		if master, remote := m.ReadStats(); master != 0 || remote != 0 {
+			t.Errorf("host %d: counters active without TrackReads: %d/%d",
+				h.Rank, master, remote)
+		}
+	})
+}
+
+func readStatsScenario(t *testing.T, h *runtime.Host, m Map[graph.NodeID]) {
+	t.Helper()
+	initIdentity(h, m)
+	lo, _ := h.HP.MasterRangeGlobal()
+	m.Read(lo) // master read
+	master, remote := m.ReadStats()
+	if master != 1 || remote != 0 {
+		t.Errorf("host %d: stats after master read = %d,%d", h.Rank, master, remote)
+	}
+	other := graph.NodeID(0)
+	if lo == 0 {
+		other = graph.NodeID(h.HP.NumGlobalNodes() - 1)
+	}
+	m.Request(other)
+	m.RequestSync()
+	m.Read(other)
+	_, remote = m.ReadStats()
+	if remote != 1 {
+		t.Errorf("host %d: remote reads = %d, want 1", h.Rank, remote)
+	}
+}
+
+func TestFullReadUnmaterializedPanics(t *testing.T) {
+	g := gen.Grid(4, 4, false, 1)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "unmaterialized") {
+			t.Fatalf("expected unmaterialized panic, got %v", r)
+		}
+	}()
+	runVariant(t, g, 2, Full, func(h *runtime.Host, m Map[graph.NodeID]) {
+		initIdentity(h, m)
+		if h.Rank == 0 {
+			// Read a node owned by host 1 without requesting it.
+			m.Read(graph.NodeID(h.HP.NumGlobalNodes() - 1))
+		}
+	})
+}
+
+func TestNewRequiresOptions(t *testing.T) {
+	cases := []Options[graph.NodeID]{
+		{},
+		{Op: MinNodeID()},
+		{Op: MinNodeID(), Codec: NodeIDCodec{}, Variant: Variant("bogus")},
+	}
+	g := gen.Grid(3, 3, false, 1)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, o := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New did not panic", i)
+				}
+			}()
+			if i >= 2 {
+				o.Host = c.Hosts()[0]
+			}
+			New(o)
+		}()
+	}
+	// MC without a store must panic too.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MC without store did not panic")
+			}
+		}()
+		New(Options[graph.NodeID]{
+			Host: c.Hosts()[0], Op: MinNodeID(), Codec: NodeIDCodec{}, Variant: MC,
+		})
+	}()
+}
+
+// crossVariantScenario runs a random reduce workload and returns the final
+// global property vector, which must be identical for every variant and
+// host count.
+func crossVariantScenario(t *testing.T, seed int64, v Variant, hosts int) []graph.NodeID {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := gen.ErdosRenyi(40, 120, false, seed)
+	n := g.NumNodes()
+	// Pre-generate the reduce operations: (round, target, value).
+	type redOp struct {
+		target graph.NodeID
+		value  graph.NodeID
+	}
+	rounds := make([][]redOp, 3)
+	for i := range rounds {
+		for j := 0; j < 30; j++ {
+			rounds[i] = append(rounds[i], redOp{
+				target: graph.NodeID(r.Intn(n)),
+				value:  graph.NodeID(r.Intn(n)),
+			})
+		}
+	}
+	final := make([]graph.NodeID, n)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: hosts, ThreadsPerHost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	store := kvstore.NewCluster(hosts, hosts)
+	var results [][]graph.NodeID
+	resultCh := make(chan []graph.NodeID, hosts)
+	c.Run(func(h *runtime.Host) {
+		m := newMapForHost(h, v, store)
+		initIdentity(h, m)
+		for _, ops := range rounds {
+			m.ResetUpdated()
+			// Every host applies all ops (deterministic, symmetric).
+			h.ParFor(len(ops), func(tid, i int) {
+				m.Reduce(tid, ops[i].target, ops[i].value)
+			})
+			m.ReduceSync()
+			m.IsUpdated()
+		}
+		for i := 0; i < n; i++ {
+			m.Request(graph.NodeID(i))
+		}
+		m.RequestSync()
+		out := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			out[i] = m.Read(graph.NodeID(i))
+		}
+		resultCh <- out
+	})
+	close(resultCh)
+	for r := range resultCh {
+		results = append(results, r)
+	}
+	for _, r := range results[1:] {
+		for i := range r {
+			if r[i] != results[0][i] {
+				t.Fatalf("hosts disagree at node %d: %d vs %d", i, r[i], results[0][i])
+			}
+		}
+	}
+	copy(final, results[0])
+	return final
+}
+
+// Property: all variants and host counts compute identical reductions.
+func TestQuickCrossVariantEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		want := crossVariantScenario(t, seed, Full, 1)
+		for _, v := range Variants {
+			for _, hosts := range []int{2, 4} {
+				got := crossVariantScenario(t, seed, v, hosts)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Logf("variant %s hosts %d node %d: %d want %d",
+							v, hosts, i, got[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package partition
+
+import (
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+)
+
+func BenchmarkPartitionOEC(b *testing.B) { benchPolicy(b, OEC) }
+func BenchmarkPartitionIEC(b *testing.B) { benchPolicy(b, IEC) }
+func BenchmarkPartitionCVC(b *testing.B) { benchPolicy(b, CVC) }
+
+func benchPolicy(b *testing.B, pol Policy) {
+	g := gen.RMAT(12, 8, false, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(g, 8, pol)
+	}
+}
+
+func BenchmarkOwnerLookup(b *testing.B) {
+	g := gen.RMAT(12, 8, false, 1)
+	p := Partition(g, 16, OEC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Owner(graph.NodeID(i % g.NumNodes()))
+	}
+}
+
+func BenchmarkLocalIDLookup(b *testing.B) {
+	g := gen.RMAT(12, 8, false, 1)
+	p := Partition(g, 8, CVC)
+	hp := p.Hosts[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hp.LocalID(graph.NodeID(i % g.NumNodes()))
+	}
+}

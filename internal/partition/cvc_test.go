@@ -1,0 +1,82 @@
+package partition
+
+import (
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+)
+
+// CVC-specific structure: edge (u,v) must land on the host at grid
+// position (row(owner(u)), col(owner(v))) — the Boman et al. 2-D policy.
+func TestCVCEdgePlacement(t *testing.T) {
+	g := gen.RMAT(8, 6, false, 4)
+	const hosts = 6 // 2x3 grid
+	p := Partition(g, hosts, CVC)
+	pr, pc := gridShape(hosts)
+	if pr != 2 || pc != 3 {
+		t.Fatalf("gridShape(6) = %dx%d", pr, pc)
+	}
+	// Recover each edge's host and check the formula.
+	located := map[[2]graph.NodeID]int{}
+	for _, hp := range p.Hosts {
+		for n := 0; n < hp.Local.NumNodes(); n++ {
+			src := hp.GlobalID(graph.NodeID(n))
+			lo, hi := hp.Local.EdgeRange(graph.NodeID(n))
+			for e := lo; e < hi; e++ {
+				dst := hp.GlobalID(hp.Local.Dst(e))
+				located[[2]graph.NodeID{src, dst}] = hp.Host
+			}
+		}
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, v := range g.Neighbors(graph.NodeID(n)) {
+			want := (p.Owner(graph.NodeID(n))/pc)*pc + p.Owner(v)%pc
+			got, ok := located[[2]graph.NodeID{graph.NodeID(n), v}]
+			if !ok {
+				t.Fatalf("edge %d->%d unplaced", n, v)
+			}
+			if got != want {
+				t.Fatalf("edge %d->%d on host %d, want %d", n, v, got, want)
+			}
+		}
+	}
+}
+
+// Under CVC, a node's proxies are confined to its owner's grid row and
+// column: at most pr+pc-1 hosts.
+func TestCVCProxySpreadBounded(t *testing.T) {
+	g := gen.RMAT(9, 8, false, 5)
+	const hosts = 4 // 2x2
+	p := Partition(g, hosts, CVC)
+	pr, pc := gridShape(hosts)
+	copies := make([]int, g.NumNodes())
+	for _, hp := range p.Hosts {
+		for l := 0; l < hp.NumLocal(); l++ {
+			copies[hp.GlobalID(graph.NodeID(l))]++
+		}
+	}
+	for n, c := range copies {
+		if c > pr+pc-1 {
+			t.Fatalf("node %d has %d proxies, CVC bound is %d", n, c, pr+pc-1)
+		}
+	}
+}
+
+func TestMoreHostsThanNodes(t *testing.T) {
+	g := gen.Star(3) // 3 nodes
+	p := Partition(g, 5, OEC)
+	total := 0
+	for _, hp := range p.Hosts {
+		total += hp.NumMasters
+	}
+	if total != 3 {
+		t.Fatalf("masters total %d, want 3", total)
+	}
+	// Empty hosts must still be well-formed.
+	for _, hp := range p.Hosts {
+		if hp.NumLocal() < hp.NumMasters {
+			t.Fatalf("host %d: locals %d < masters %d", hp.Host, hp.NumLocal(), hp.NumMasters)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package partition splits a graph across simulated hosts the way Gluon and
+// Kimbap do: edges are assigned to hosts by a partitioning policy, proxy
+// nodes are created for edge endpoints, and for each graph node one proxy is
+// designated the master (holding the canonical property value) while the
+// rest are mirrors.
+//
+// Three policies from the paper are provided:
+//
+//   - OEC (outgoing edge-cut): edge u->v lives on owner(u). Structural
+//     invariant: mirrors have no outgoing edges.
+//   - IEC (incoming edge-cut): edge u->v lives on owner(v). Structural
+//     invariant: mirrors have no incoming edges.
+//   - CVC (Cartesian vertex-cut, Boman et al.): hosts form a pr x pc grid
+//     and edge u->v lives on host (row(owner(u)), col(owner(v))).
+//
+// Node ownership is by contiguous node ranges balanced by degree, which
+// keeps the owner function a binary search over at most numHosts+1
+// boundaries (the paper's temporal invariant: the partition never changes
+// during execution, so these tables are computed once).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"kimbap/internal/graph"
+)
+
+// Policy selects a partitioning strategy.
+type Policy string
+
+// The partitioning policies used in the paper's evaluation (§6.1).
+const (
+	OEC Policy = "oec" // outgoing edge-cut
+	IEC Policy = "iec" // incoming edge-cut
+	CVC Policy = "cvc" // Cartesian (2-D) vertex-cut
+)
+
+// Policies lists all supported policies.
+var Policies = []Policy{OEC, IEC, CVC}
+
+// Partitioned is the result of partitioning a graph across hosts.
+type Partitioned struct {
+	NumHosts   int
+	NumNodes   int // global node count
+	Policy     Policy
+	Hosts      []*HostPartition
+	boundaries []graph.NodeID // len NumHosts+1; owner(v) = range containing v
+}
+
+// HostPartition is one host's local view: a local CSR over local node IDs,
+// with masters occupying local IDs [0, NumMasters) and mirrors following.
+// Both groups are sorted by global ID.
+type HostPartition struct {
+	Host       int
+	Local      *graph.Graph
+	GlobalIDs  []graph.NodeID // local -> global
+	NumMasters int
+
+	// MirrorsByOwner[o] lists (as local IDs) this host's mirror nodes whose
+	// master lives on host o, sorted by global ID. Used to receive
+	// broadcasts and to address reduce messages.
+	MirrorsByOwner [][]graph.NodeID
+	// MasterSendTo[o] lists (as local IDs) this host's master nodes that
+	// have a mirror on host o, sorted by global ID. Used to send
+	// broadcasts. MasterSendTo[self] is empty.
+	MasterSendTo [][]graph.NodeID
+
+	// Structural invariants exploited by pinned-mirror optimizations.
+	MirrorsHaveNoOutEdges bool
+	MirrorsHaveNoInEdges  bool
+
+	mirrorGlobals []graph.NodeID // GlobalIDs[NumMasters:], kept for search
+	part          *Partitioned
+}
+
+// Partition splits g across numHosts hosts using the given policy.
+func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
+	if numHosts < 1 {
+		panic("partition: numHosts must be >= 1")
+	}
+	p := &Partitioned{
+		NumHosts:   numHosts,
+		NumNodes:   g.NumNodes(),
+		Policy:     policy,
+		boundaries: degreeBalancedBoundaries(g, numHosts),
+	}
+	assign := p.edgeAssigner(policy, numHosts)
+
+	// Pass 1: count edges per host and collect the set of non-master
+	// endpoints (mirrors) appearing on each host.
+	type hostEdges struct {
+		edges   []graph.Edge
+		mirrors map[graph.NodeID]struct{}
+	}
+	hosts := make([]hostEdges, numHosts)
+	for h := range hosts {
+		hosts[h].mirrors = make(map[graph.NodeID]struct{})
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		src := graph.NodeID(n)
+		lo, hi := g.EdgeRange(src)
+		for e := lo; e < hi; e++ {
+			dst := g.Dst(e)
+			h := assign(src, dst)
+			hosts[h].edges = append(hosts[h].edges,
+				graph.Edge{Src: src, Dst: dst, Weight: g.Weight(e)})
+			if p.Owner(src) != h {
+				hosts[h].mirrors[src] = struct{}{}
+			}
+			if p.Owner(dst) != h {
+				hosts[h].mirrors[dst] = struct{}{}
+			}
+		}
+	}
+
+	// Pass 2: build each host's local graph and proxy metadata.
+	p.Hosts = make([]*HostPartition, numHosts)
+	for h := 0; h < numHosts; h++ {
+		p.Hosts[h] = buildHostPartition(p, g, h, hosts[h].edges, hosts[h].mirrors)
+	}
+
+	// Pass 3: exchange mirror lists (direct computation; in a real cluster
+	// this is the partitioning-time metadata exchange).
+	for h := 0; h < numHosts; h++ {
+		hp := p.Hosts[h]
+		hp.MirrorsByOwner = make([][]graph.NodeID, numHosts)
+		for _, local := range hp.mirrorLocalIDs() {
+			o := p.Owner(hp.GlobalIDs[local])
+			hp.MirrorsByOwner[o] = append(hp.MirrorsByOwner[o], local)
+		}
+	}
+	for h := 0; h < numHosts; h++ {
+		hp := p.Hosts[h]
+		hp.MasterSendTo = make([][]graph.NodeID, numHosts)
+		for o := 0; o < numHosts; o++ {
+			if o == h {
+				continue
+			}
+			op := p.Hosts[o]
+			for _, mirrorLocal := range op.MirrorsByOwner[h] {
+				global := op.GlobalIDs[mirrorLocal]
+				masterLocal, ok := hp.LocalID(global)
+				if !ok || !hp.IsMaster(masterLocal) {
+					panic("partition: mirror without master proxy")
+				}
+				hp.MasterSendTo[o] = append(hp.MasterSendTo[o], masterLocal)
+			}
+		}
+	}
+	return p
+}
+
+// Owner returns the host that holds the master proxy of global node v.
+func (p *Partitioned) Owner(v graph.NodeID) int {
+	// boundaries[h] <= v < boundaries[h+1]  =>  owner is h.
+	return sort.Search(len(p.boundaries)-1, func(h int) bool {
+		return p.boundaries[h+1] > v
+	})
+}
+
+// MasterRange returns the global-ID range [lo, hi) of masters on host h.
+func (p *Partitioned) MasterRange(h int) (lo, hi graph.NodeID) {
+	return p.boundaries[h], p.boundaries[h+1]
+}
+
+func degreeBalancedBoundaries(g *graph.Graph, numHosts int) []graph.NodeID {
+	n := g.NumNodes()
+	total := g.NumEdges() + int64(n) // +1 per node so empty nodes also spread
+	bounds := make([]graph.NodeID, numHosts+1)
+	bounds[numHosts] = graph.NodeID(n)
+	target := total / int64(numHosts)
+	h := 1
+	var acc int64
+	for v := 0; v < n && h < numHosts; v++ {
+		acc += int64(g.Degree(graph.NodeID(v))) + 1
+		if acc >= target*int64(h) {
+			bounds[h] = graph.NodeID(v + 1)
+			h++
+		}
+	}
+	for ; h < numHosts; h++ {
+		bounds[h] = graph.NodeID(n)
+	}
+	return bounds
+}
+
+// edgeAssigner returns the function mapping an edge to its host.
+func (p *Partitioned) edgeAssigner(policy Policy, numHosts int) func(src, dst graph.NodeID) int {
+	switch policy {
+	case OEC:
+		return func(src, _ graph.NodeID) int { return p.Owner(src) }
+	case IEC:
+		return func(_, dst graph.NodeID) int { return p.Owner(dst) }
+	case CVC:
+		_, pc := gridShape(numHosts)
+		return func(src, dst graph.NodeID) int {
+			r := p.Owner(src) / pc
+			c := p.Owner(dst) % pc
+			return r*pc + c
+		}
+	default:
+		panic(fmt.Sprintf("partition: unknown policy %q", policy))
+	}
+}
+
+// gridShape factors numHosts into the most square pr x pc grid, with
+// pr the largest factor <= sqrt(numHosts).
+func gridShape(numHosts int) (pr, pc int) {
+	pr = 1
+	for f := 2; f*f <= numHosts; f++ {
+		if numHosts%f == 0 {
+			pr = f
+		}
+	}
+	return pr, numHosts / pr
+}
+
+func buildHostPartition(p *Partitioned, g *graph.Graph, h int,
+	edges []graph.Edge, mirrorSet map[graph.NodeID]struct{}) *HostPartition {
+
+	lo, hi := p.MasterRange(h)
+	numMasters := int(hi - lo)
+	mirrors := make([]graph.NodeID, 0, len(mirrorSet))
+	for v := range mirrorSet {
+		mirrors = append(mirrors, v)
+	}
+	sort.Slice(mirrors, func(i, j int) bool { return mirrors[i] < mirrors[j] })
+
+	hp := &HostPartition{
+		Host:          h,
+		NumMasters:    numMasters,
+		GlobalIDs:     make([]graph.NodeID, 0, numMasters+len(mirrors)),
+		mirrorGlobals: mirrors,
+		part:          p,
+	}
+	for v := lo; v < hi; v++ {
+		hp.GlobalIDs = append(hp.GlobalIDs, v)
+	}
+	hp.GlobalIDs = append(hp.GlobalIDs, mirrors...)
+
+	b := graph.NewBuilder(len(hp.GlobalIDs))
+	weighted := g.Weighted()
+	for _, e := range edges {
+		ls, ok1 := hp.LocalID(e.Src)
+		ld, ok2 := hp.LocalID(e.Dst)
+		if !ok1 || !ok2 {
+			panic("partition: edge endpoint has no proxy")
+		}
+		if weighted {
+			b.AddWeightedEdge(ls, ld, e.Weight)
+		} else {
+			b.AddEdge(ls, ld)
+		}
+	}
+	hp.Local = b.Build()
+
+	// Detect structural invariants over mirror proxies.
+	hp.MirrorsHaveNoOutEdges = true
+	inDeg := make([]int, hp.Local.NumNodes())
+	for n := 0; n < hp.Local.NumNodes(); n++ {
+		for _, v := range hp.Local.Neighbors(graph.NodeID(n)) {
+			inDeg[v]++
+		}
+		if n >= numMasters && hp.Local.Degree(graph.NodeID(n)) > 0 {
+			hp.MirrorsHaveNoOutEdges = false
+		}
+	}
+	hp.MirrorsHaveNoInEdges = true
+	for n := numMasters; n < hp.Local.NumNodes(); n++ {
+		if inDeg[n] > 0 {
+			hp.MirrorsHaveNoInEdges = false
+			break
+		}
+	}
+	return hp
+}
+
+// LocalID translates a global node ID to this host's local ID. Masters map
+// by offset; mirrors by binary search over the sorted mirror list.
+func (hp *HostPartition) LocalID(global graph.NodeID) (graph.NodeID, bool) {
+	lo, hi := hp.part.MasterRange(hp.Host)
+	if global >= lo && global < hi {
+		return global - lo, true
+	}
+	i := sort.Search(len(hp.mirrorGlobals), func(i int) bool {
+		return hp.mirrorGlobals[i] >= global
+	})
+	if i < len(hp.mirrorGlobals) && hp.mirrorGlobals[i] == global {
+		return graph.NodeID(hp.NumMasters + i), true
+	}
+	return graph.InvalidNode, false
+}
+
+// GlobalID translates a local node ID back to the global ID.
+func (hp *HostPartition) GlobalID(local graph.NodeID) graph.NodeID {
+	return hp.GlobalIDs[local]
+}
+
+// IsMaster reports whether a local node is this host's master proxy.
+func (hp *HostPartition) IsMaster(local graph.NodeID) bool {
+	return int(local) < hp.NumMasters
+}
+
+// NumLocal returns the number of proxies (masters + mirrors) on this host.
+func (hp *HostPartition) NumLocal() int { return len(hp.GlobalIDs) }
+
+// NumMirrors returns the number of mirror proxies on this host.
+func (hp *HostPartition) NumMirrors() int { return len(hp.mirrorGlobals) }
+
+// Owner returns the master host of a global node (convenience passthrough).
+func (hp *HostPartition) Owner(global graph.NodeID) int { return hp.part.Owner(global) }
+
+// NumGlobalNodes returns the global node count of the partitioned graph.
+func (hp *HostPartition) NumGlobalNodes() int { return hp.part.NumNodes }
+
+// NumHosts returns the number of hosts in the partitioning.
+func (hp *HostPartition) NumHosts() int { return hp.part.NumHosts }
+
+// MasterRangeGlobal returns the global master range of this host.
+func (hp *HostPartition) MasterRangeGlobal() (lo, hi graph.NodeID) {
+	return hp.part.MasterRange(hp.Host)
+}
+
+func (hp *HostPartition) mirrorLocalIDs() []graph.NodeID {
+	out := make([]graph.NodeID, len(hp.mirrorGlobals))
+	for i := range out {
+		out[i] = graph.NodeID(hp.NumMasters + i)
+	}
+	return out
+}
+
+// ReplicationFactor returns total proxies divided by global nodes, a
+// standard partition-quality metric.
+func (p *Partitioned) ReplicationFactor() float64 {
+	total := 0
+	for _, hp := range p.Hosts {
+		total += hp.NumLocal()
+	}
+	if p.NumNodes == 0 {
+		return 0
+	}
+	return float64(total) / float64(p.NumNodes)
+}

@@ -1,0 +1,64 @@
+package runtime
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitset is a fixed-size concurrent bitset. The paper's request phase uses
+// one to de-duplicate node-property requests: many threads set bits, then
+// one pass drains them (§4.1).
+type Bitset struct {
+	words []atomic.Uint64
+	size  int
+}
+
+// NewBitset creates a bitset of the given size with all bits clear.
+func NewBitset(size int) *Bitset {
+	return &Bitset{words: make([]atomic.Uint64, (size+63)/64), size: size}
+}
+
+// Size returns the bitset capacity in bits.
+func (b *Bitset) Size() int { return b.size }
+
+// Set atomically sets bit i and reports whether it was previously clear.
+func (b *Bitset) Set(i int) bool {
+	mask := uint64(1) << (uint(i) % 64)
+	old := b.words[i/64].Or(mask)
+	return old&mask == 0
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	return b.words[i/64].Load()&(uint64(1)<<(uint(i)%64)) != 0
+}
+
+// Clear resets all bits.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for i := range b.words {
+		n += bits.OnesCount64(b.words[i].Load())
+	}
+	return n
+}
+
+// ForEachSet calls fn for every set bit in ascending order.
+func (b *Bitset) ForEachSet(fn func(i int)) {
+	for w := range b.words {
+		word := b.words[w].Load()
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			if i < b.size {
+				fn(i)
+			}
+			word &= word - 1
+		}
+	}
+}

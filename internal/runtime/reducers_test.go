@@ -1,0 +1,74 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kimbap/internal/gen"
+)
+
+// Property: distributed reducers agree with a sequential fold over the
+// per-host contributions, for any host count and contribution values.
+func TestQuickReducersMatchSequentialFold(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		hosts := r.Intn(5) + 1
+		contrib := make([]int64, hosts)
+		var want int64
+		for i := range contrib {
+			contrib[i] = int64(r.Intn(2000) - 1000)
+			want += contrib[i]
+		}
+		g := gen.Grid(4, 4, false, 1)
+		c, err := NewCluster(g, Config{NumHosts: hosts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ok := true
+		c.Run(func(h *Host) {
+			var cr CountReducer
+			cr.Reduce(contrib[h.Rank])
+			cr.Sync(h.EP)
+			if cr.Read() != want {
+				ok = false
+			}
+			var sr SumReducer
+			sr.Reduce(float64(contrib[h.Rank]))
+			sr.Sync(h.EP)
+			if int64(sr.Read()) != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolReducerResync(t *testing.T) {
+	// A reducer must be reusable across rounds: Set(false) clears both
+	// local and global state.
+	g := gen.Grid(3, 3, false, 1)
+	c, err := NewCluster(g, Config{NumHosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(func(h *Host) {
+		var br BoolReducer
+		br.Set(false)
+		br.Reduce(h.Rank == 0)
+		br.Sync(h.EP)
+		if !br.Read() {
+			t.Errorf("host %d: round 1 lost the true", h.Rank)
+		}
+		br.Set(false)
+		br.Sync(h.EP)
+		if br.Read() {
+			t.Errorf("host %d: round 2 kept stale true", h.Rank)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package runtime simulates the distributed cluster Kimbap runs on: a set
+// of hosts, each with its own graph partition and pool of worker threads,
+// connected by a comm.Transport. One OS process hosts the whole cluster;
+// each simulated host runs the application program in its own goroutine and
+// communicates with peers only through messages, mirroring the paper's
+// 256-host x 48-thread Stampede2 deployments at laptop scale.
+//
+// The package also provides the BSP building blocks the generated code in
+// the paper relies on: parallel-for over local nodes with per-thread
+// contexts (for conflict-free thread-local maps), a concurrent bitset (for
+// request de-duplication), distributed reducers, and per-phase time
+// accounting that separates computation from communication.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sync/atomic"
+
+	"kimbap/internal/comm"
+	"kimbap/internal/graph"
+	"kimbap/internal/partition"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	NumHosts int
+	// ThreadsPerHost is the worker pool size per host (the paper uses 48).
+	// Defaults to 4 if zero.
+	ThreadsPerHost int
+	// Policy is the partitioning policy. Defaults to partition.OEC.
+	Policy partition.Policy
+	// UseTCP selects the real-socket transport instead of the in-memory
+	// channel transport.
+	UseTCP bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumHosts == 0 {
+		c.NumHosts = 1
+	}
+	if c.ThreadsPerHost == 0 {
+		c.ThreadsPerHost = 4
+	}
+	if c.Policy == "" {
+		c.Policy = partition.OEC
+	}
+	return c
+}
+
+// Cluster is a partitioned graph plus the communication fabric connecting
+// its hosts.
+type Cluster struct {
+	Config Config
+	Part   *partition.Partitioned
+	hosts  []*Host
+}
+
+// Host is one simulated machine: its partition, endpoint, worker pool and
+// timers. Application code receives a *Host and runs identically on every
+// host (SPMD).
+type Host struct {
+	Rank    int
+	HP      *partition.HostPartition
+	EP      comm.Endpoint
+	Threads int
+	Timers  Timers
+
+	mapSeq atomic.Int64
+}
+
+// NextMapID returns this host's next property-map sequence number. SPMD
+// programs create maps in the same order on every host, so the k-th map on
+// each host shares the same ID — used to namespace keys in shared external
+// stores.
+func (h *Host) NextMapID() int64 { return h.mapSeq.Add(1) }
+
+// NewCluster partitions g and connects the hosts.
+func NewCluster(g *graph.Graph, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	part := partition.Partition(g, cfg.NumHosts, cfg.Policy)
+	var eps []comm.Endpoint
+	if cfg.UseTCP {
+		tcp, err := comm.NewTCPCluster(cfg.NumHosts)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		for _, e := range tcp {
+			eps = append(eps, e)
+		}
+	} else {
+		for _, e := range comm.NewLocalCluster(cfg.NumHosts) {
+			eps = append(eps, e)
+		}
+	}
+	c := &Cluster{Config: cfg, Part: part}
+	for i := 0; i < cfg.NumHosts; i++ {
+		c.hosts = append(c.hosts, &Host{
+			Rank:    i,
+			HP:      part.Hosts[i],
+			EP:      eps[i],
+			Threads: cfg.ThreadsPerHost,
+		})
+	}
+	return c, nil
+}
+
+// Hosts returns the cluster's hosts.
+func (c *Cluster) Hosts() []*Host { return c.hosts }
+
+// Run executes prog concurrently on every host (SPMD) and blocks until all
+// hosts return. A panic on any host is re-raised on the caller after all
+// other hosts have been given a chance to finish or panic.
+func (c *Cluster) Run(prog func(h *Host)) {
+	var wg sync.WaitGroup
+	panics := make([]any, len(c.hosts))
+	for i, h := range c.hosts {
+		wg.Add(1)
+		go func(i int, h *Host) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			prog(h)
+		}(i, h)
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("runtime: host %d panicked: %v", i, p))
+		}
+	}
+}
+
+// Close releases transport resources.
+func (c *Cluster) Close() {
+	for _, h := range c.hosts {
+		h.EP.Close()
+	}
+}
+
+// CommStats sums messages and bytes sent by all hosts.
+func (c *Cluster) CommStats() (messages, bytes int64) {
+	for _, h := range c.hosts {
+		m, b := h.EP.Stats()
+		messages += m
+		bytes += b
+	}
+	return messages, bytes
+}
+
+// Timers accumulates wall-clock time per activity class on one host.
+// The paper's Figures 11-12 break execution into computation and
+// communication; §6.4 additionally attributes GAR's gains to request,
+// reduce, and their synchronization separately, so the communication side
+// is split by phase.
+type Timers struct {
+	Compute   time.Duration
+	Request   time.Duration // request-sync phases
+	Reduce    time.Duration // reduce-sync phases and quiescence reductions
+	Broadcast time.Duration // master-to-mirror broadcasts
+}
+
+// Comm returns total communication time across all sync phases.
+func (t Timers) Comm() time.Duration { return t.Request + t.Reduce + t.Broadcast }
+
+// TimeCompute runs f and adds its duration to the computation timer.
+func (h *Host) TimeCompute(f func()) {
+	start := time.Now()
+	f()
+	h.Timers.Compute += time.Since(start)
+}
+
+// TimeComm runs f and adds its duration to the reduce-phase timer; prefer
+// the phase-specific variants where the phase is known.
+func (h *Host) TimeComm(f func()) { h.TimeReduce(f) }
+
+// TimeRequest runs f and adds its duration to the request-phase timer.
+func (h *Host) TimeRequest(f func()) {
+	start := time.Now()
+	f()
+	h.Timers.Request += time.Since(start)
+}
+
+// TimeReduce runs f and adds its duration to the reduce-phase timer.
+func (h *Host) TimeReduce(f func()) {
+	start := time.Now()
+	f()
+	h.Timers.Reduce += time.Since(start)
+}
+
+// TimeBroadcast runs f and adds its duration to the broadcast timer.
+func (h *Host) TimeBroadcast(f func()) {
+	start := time.Now()
+	f()
+	h.Timers.Broadcast += time.Since(start)
+}
+
+// ResetTimers zeroes the host's timers.
+func (h *Host) ResetTimers() { h.Timers = Timers{} }
+
+// ParFor runs fn(tid, i) for every i in [0, n) using the host's worker
+// pool. Work is handed out in chunks through an index channel so skewed
+// iterations (power-law hubs) balance across threads. fn must be safe for
+// concurrent invocation with distinct i.
+func (h *Host) ParFor(n int, fn func(tid, i int)) {
+	if n == 0 {
+		return
+	}
+	threads := h.Threads
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Chunks are sized so each thread sees several, letting skewed
+	// iterations rebalance, but capped to bound scheduling overhead.
+	chunk := n / (threads * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+	type span struct{ lo, hi int }
+	work := make(chan span, n/chunk+1)
+	go func() {
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			work <- span{lo, hi}
+		}
+		close(work)
+	}()
+	var wg sync.WaitGroup
+	var panicked atomic.Value
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.Store(r)
+					// Drain remaining work so peers finish.
+					for range work {
+					}
+				}
+			}()
+			for s := range work {
+				for i := s.lo; i < s.hi; i++ {
+					fn(tid, i)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		// Re-raise on the calling goroutine so host-level recovery works.
+		panic(r)
+	}
+}
+
+// ParForNodes runs fn over all local proxies (masters and mirrors).
+func (h *Host) ParForNodes(fn func(tid int, node graph.NodeID)) {
+	h.ParFor(h.HP.NumLocal(), func(tid, i int) { fn(tid, graph.NodeID(i)) })
+}
+
+// ParForMasters runs fn over local master proxies only (the compiler's
+// master-iterator optimization from §5.2).
+func (h *Host) ParForMasters(fn func(tid int, node graph.NodeID)) {
+	h.ParFor(h.HP.NumMasters, func(tid, i int) { fn(tid, graph.NodeID(i)) })
+}
+
+// Barrier synchronizes all hosts.
+func (h *Host) Barrier() { comm.Barrier(h.EP) }

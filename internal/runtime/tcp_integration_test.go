@@ -1,0 +1,48 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"kimbap/internal/algorithms"
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+// Integration: a full trans-vertex algorithm over real TCP sockets — the
+// whole stack (partitioning, NPM sync phases, framing) across the loopback
+// network.
+func TestCCSVOverTCP(t *testing.T) {
+	g := gen.RMAT(8, 5, false, 6)
+	c, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: 3, ThreadsPerHost: 2, Policy: partition.CVC, UseTCP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]graph.NodeID, g.NumNodes())
+	c.Run(func(h *runtime.Host) {
+		algorithms.CCSV(h, algorithms.Config{}, out)
+	})
+	want := graph.ReferenceComponents(g)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("node %d = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestLouvainOverTCP(t *testing.T) {
+	g := gen.Communities(4, 25, 4, 1, true, 13)
+	res, err := algorithms.Louvain(g, runtime.Config{
+		NumHosts: 2, ThreadsPerHost: 2, UseTCP: true,
+	}, algorithms.Config{}, algorithms.CDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modularity < 0.3 {
+		t.Fatalf("modularity over TCP = %.3f", res.Modularity)
+	}
+}
