@@ -1,0 +1,27 @@
+# Kimbap build/verify targets. `make ci` is the full tier-1 gate.
+
+GO ?= go
+
+.PHONY: all build test lint race ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the standard vet suite plus Kimbap's own analyzers
+# (DESIGN.md §7 "Checked invariants"). kimbapvet must run from the module
+# root: it resolves packages with `go list` and type-checks from source.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/kimbapvet ./...
+
+# race covers the concurrency-heavy packages: the property maps, the
+# runtime's worker pool and bitsets, and the transports.
+race:
+	$(GO) test -race ./internal/npm/... ./internal/runtime/... ./internal/comm/...
+
+ci: build test lint race

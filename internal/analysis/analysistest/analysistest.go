@@ -1,0 +1,131 @@
+// Package analysistest runs a kimbapvet analyzer over a golden testdata
+// package and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which this module cannot
+// depend on — it must build offline).
+//
+// Testdata layout follows the x/tools convention: the package for test
+// name "x" lives in testdata/src/x/ relative to the analyzer's package
+// directory. Expectations are written on the offending line:
+//
+//	sh.mu.Lock() // want `not released on all paths`
+//
+// The backquoted string is a regular expression that must match a
+// diagnostic reported on that line; several expectations may share one
+// comment. Double quotes are also accepted. Every diagnostic must be
+// matched by an expectation and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kimbap/internal/analysis/checker"
+	"kimbap/internal/analysis/framework"
+	"kimbap/internal/analysis/load"
+)
+
+// Run loads testdata/src/<name> and applies a to it, failing t on any
+// mismatch between diagnostics and // want expectations.
+func Run(t *testing.T, a *framework.Analyzer, name string) {
+	t.Helper()
+	prog, err := load.NewProgram()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := prog.LoadDir("kimbapvet.test/"+name, dir)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+	diags, err := checker.Run(prog, []*load.Package{pkg}, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	wants := collectWants(t, prog.Fset, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want (.*)$")
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a sequence of quoted or backquoted strings.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			break
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		// Unquoted single pattern.
+		out = append(out, fmt.Sprintf("%s", strings.TrimSpace(s)))
+	}
+	return out
+}

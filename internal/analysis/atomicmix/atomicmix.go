@@ -1,0 +1,212 @@
+// Package atomicmix flags variables and struct fields that are accessed
+// both through sync/atomic calls and through plain loads or stores in the
+// same package. Mixing the two silently destroys the atomicity the atomic
+// call was meant to provide: the plain access races with every atomic one
+// (the classic pattern in sharded-map and property-map code, where a hot
+// counter gains an atomic.AddInt64 on one path while a reset or read
+// elsewhere stays plain).
+//
+// The target of an atomic call is recognized from its &x argument. If x is
+// a field selection, every plain access to that field (on any instance of
+// the struct) is flagged; if x is an element of a slice, map, or array,
+// accesses are tracked per backing variable, which is deliberately coarse.
+// Intentional exceptions — for example, single-threaded initialization —
+// must be annotated with a //kimbapvet:ignore atomicmix directive rather
+// than left bare.
+//
+// Kimbap-typed atomics (atomic.Int64 and friends) are immune by
+// construction and are not tracked; go vet's copylocks handles their
+// misuse.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kimbap/internal/analysis/framework"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag objects accessed both via sync/atomic and via plain loads/stores",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: record every object targeted by a sync/atomic call, and the
+	// exact &x argument subtrees so pass 2 does not re-flag them.
+	targets := map[types.Object]token.Pos{} // object -> first atomic access
+	atomicArgs := map[ast.Expr]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(info, u.X); obj != nil {
+					if _, seen := targets[obj]; !seen {
+						targets[obj] = u.Pos()
+					}
+					atomicArgs[u.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// Struct-literal field keys define, not access, so they are exempt from
+	// pass 2 (a composite literal is a fresh, unpublished value). Defining
+	// identifiers count as stores only when the declaration assigns a value
+	// (n := 0, var n = 0, range keys); bare declarations, parameters, and
+	// field names in type declarations define without accessing.
+	exemptIdents := map[*ast.Ident]bool{}
+	defStores := map[*ast.Ident]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if _, isField := info.Uses[id].(*types.Var); isField {
+						exemptIdents[id] = true
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							defStores[id] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Tok == token.DEFINE {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok {
+							defStores[id] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Values) > 0 {
+					for _, id := range n.Names {
+						defStores[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses to the targeted objects.
+	for _, f := range pass.Pkg.Files {
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && atomicArgs[e] {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if obj := fieldObject(info, e); obj != nil {
+					if _, tracked := targets[obj]; tracked {
+						pass.Reportf(e.Pos(),
+							"%s is accessed with sync/atomic elsewhere in this package; this plain access is a data race",
+							objName(obj))
+						return false
+					}
+				}
+			case *ast.Ident:
+				if exemptIdents[e] {
+					return false
+				}
+				obj := info.Uses[e]
+				if obj == nil && defStores[e] {
+					obj = info.Defs[e]
+				}
+				if obj != nil {
+					obj = originOf(obj)
+					if _, tracked := targets[obj]; tracked {
+						pass.Reportf(e.Pos(),
+							"%s is accessed with sync/atomic elsewhere in this package; this plain access is a data race",
+							objName(obj))
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// isAtomicFuncCall reports whether call invokes a function from package
+// sync/atomic (AddInt64, CompareAndSwapUint32, ...).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	// Only package-level functions: methods on atomic.Int64 etc. are safe.
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedObject resolves the object whose address is taken in an atomic
+// call argument: the field of a selection, the backing variable of an
+// index expression, or a plain variable.
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return fieldObject(info, e)
+	case *ast.IndexExpr:
+		return addressedObject(info, e.X)
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v.Origin()
+		}
+	}
+	return nil
+}
+
+// fieldObject returns the (origin) variable selected by e, if any.
+func fieldObject(info *types.Info, e *ast.SelectorExpr) types.Object {
+	if sel, ok := info.Selections[e]; ok {
+		if v, ok := sel.Obj().(*types.Var); ok {
+			return v.Origin()
+		}
+		return nil
+	}
+	// Qualified identifier (pkg.Var).
+	if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+		return v.Origin()
+	}
+	return nil
+}
+
+func originOf(obj types.Object) types.Object {
+	if v, ok := obj.(*types.Var); ok {
+		return v.Origin()
+	}
+	return obj
+}
+
+func objName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	return obj.Name()
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/analysistest"
+	"kimbap/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "atomicmix")
+}

@@ -1,0 +1,55 @@
+// Golden tests for the atomicmix analyzer: fields and variables touched
+// both by sync/atomic functions and by plain loads/stores.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe atomic.Int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere in this package; this plain access is a data race`
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want `field n is accessed with sync/atomic`
+	c.safe.Store(0)
+}
+
+// Typed atomics are immune: no diagnostic anywhere for safe.
+func (c *counter) readSafe() int64 {
+	return c.safe.Load()
+}
+
+// A field only ever accessed plainly is not tracked.
+func (c *counter) bumpHits() {
+	c.hits++
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func resetGlobal() {
+	global = 0 // want `global is accessed with sync/atomic`
+}
+
+// Composite-literal keys define a fresh value, not an access.
+func newCounter() *counter {
+	return &counter{n: 0}
+}
+
+// Single-threaded setup may opt out explicitly.
+func setupValue(c *counter) {
+	//kimbapvet:ignore atomicmix -- single-threaded construction, not yet published
+	c.n = 42
+}

@@ -1,0 +1,188 @@
+// Package cautiouscases is the shared table of cautious-operator
+// positive/negative cases that the IR validator (internal/compiler
+// Validate) and the Go-level cautiousop analyzer must agree on. Each
+// case carries the same operator in both forms where expressible: an IR
+// program and a Go operator body. The compiler's external test package
+// checks the IR side; the cautiousop test renders the Go side into a
+// synthetic package and checks the analyzer. Keeping one table keeps the
+// two §3.2 enforcement points from drifting apart.
+package cautiouscases
+
+import "kimbap/internal/compiler"
+
+// Case is one cautious-operator scenario with its expected verdict.
+type Case struct {
+	Name string
+	// OK reports whether the operator is valid (cautious and
+	// structurally sound).
+	OK bool
+	// IR builds the IR form, or nil when the case is only expressible
+	// at Go level (e.g. if/else siblings — the IR has no else).
+	IR func() *compiler.Program
+	// GoSrc is the body of the operator closure in Go, or "" when only
+	// expressible in IR (e.g. EdgeDst placement, use-before-assign).
+	// It may use: u (the active node, int), a and b (*propMap with
+	// Read/Reduce), and deg (an int loop bound).
+	GoSrc string
+}
+
+// irProgram wraps one operator body in a single-loop program over maps
+// "a" and "b".
+func irProgram(name string, body ...compiler.Stmt) func() *compiler.Program {
+	return func() *compiler.Program {
+		return &compiler.Program{
+			Name: name,
+			Maps: []compiler.MapDecl{
+				{Name: "a", Kind: compiler.MinMap, InitToID: true},
+				{Name: "b", Kind: compiler.MinMap, InitToID: true},
+			},
+			Loops: []compiler.Loop{{Quiesce: "a", Body: body}},
+		}
+	}
+}
+
+// Cases returns the shared table.
+func Cases() []Case {
+	lt10 := compiler.Cond{Op: compiler.Lt, L: compiler.Active{}, R: compiler.Const{V: 10}}
+	lt5 := compiler.Cond{Op: compiler.Lt, L: compiler.Active{}, R: compiler.Const{V: 5}}
+	return []Case{
+		{
+			Name: "read_then_reduce",
+			OK:   true,
+			IR: irProgram("read-then-reduce",
+				compiler.Read{Dst: "x", Map: "a", Key: compiler.Active{}},
+				compiler.Reduce{Map: "a", Key: compiler.Active{}, Val: compiler.Var{Name: "x"}},
+			),
+			GoSrc: `x := a.Read(u)
+a.Reduce(u, x)`,
+		},
+		{
+			Name: "reduce_then_read",
+			OK:   false,
+			IR: irProgram("reduce-then-read",
+				compiler.Reduce{Map: "a", Key: compiler.Active{}, Val: compiler.Const{V: 0}},
+				compiler.Read{Dst: "x", Map: "a", Key: compiler.Active{}},
+			),
+			GoSrc: `a.Reduce(u, 1)
+_ = a.Read(u)`,
+		},
+		{
+			Name: "reduce_then_read_in_nested_block",
+			OK:   false,
+			IR: irProgram("reduce-then-read-nested",
+				compiler.Reduce{Map: "a", Key: compiler.Active{}, Val: compiler.Const{V: 0}},
+				compiler.If{Cond: lt10, Then: []compiler.Stmt{
+					compiler.If{Cond: lt5, Then: []compiler.Stmt{
+						compiler.Read{Dst: "x", Map: "a", Key: compiler.Active{}},
+					}},
+				}},
+			),
+			GoSrc: `a.Reduce(u, 1)
+if u < 10 {
+	if u < 5 {
+		_ = a.Read(u)
+	}
+}`,
+		},
+		{
+			Name: "reduce_in_nested_block_read_after",
+			OK:   false,
+			IR: irProgram("reduce-nested-read-after",
+				compiler.If{Cond: lt10, Then: []compiler.Stmt{
+					compiler.If{Cond: lt5, Then: []compiler.Stmt{
+						compiler.Reduce{Map: "a", Key: compiler.Active{}, Val: compiler.Const{V: 0}},
+					}},
+				}},
+				compiler.Read{Dst: "x", Map: "a", Key: compiler.Active{}},
+			),
+			GoSrc: `if u < 10 {
+	if u < 5 {
+		a.Reduce(u, 1)
+	}
+}
+_ = a.Read(u)`,
+		},
+		{
+			Name: "cross_map_read_after_reduce",
+			OK:   true,
+			IR: irProgram("cross-map",
+				compiler.Reduce{Map: "a", Key: compiler.Active{}, Val: compiler.Const{V: 0}},
+				compiler.Read{Dst: "x", Map: "b", Key: compiler.Active{}},
+			),
+			GoSrc: `a.Reduce(u, 1)
+_ = b.Read(u)`,
+		},
+		{
+			Name: "edge_loop_hook",
+			OK:   true,
+			// The Figure 4 hook: within one edge iteration the Read comes
+			// first; the next iteration's Read follows only via the back
+			// edge, which separates iterations.
+			IR: irProgram("edge-loop-hook",
+				compiler.ForEdges{Body: []compiler.Stmt{
+					compiler.Read{Dst: "d", Map: "a", Key: compiler.EdgeDst{}},
+					compiler.Reduce{Map: "a", Key: compiler.Var{Name: "d"}, Val: compiler.Const{V: 0}},
+				}},
+			),
+			GoSrc: `for i := 0; i < deg; i++ {
+	x := a.Read(u)
+	a.Reduce(u, x)
+}`,
+		},
+		{
+			Name: "read_after_reduce_loop",
+			OK:   false,
+			// The loop's exit is forward control flow: a Read after the
+			// edge loop does follow the Reduce inside it.
+			IR: irProgram("read-after-reduce-loop",
+				compiler.ForEdges{Body: []compiler.Stmt{
+					compiler.Reduce{Map: "a", Key: compiler.EdgeDst{}, Val: compiler.Const{V: 0}},
+				}},
+				compiler.Read{Dst: "x", Map: "a", Key: compiler.Active{}},
+			),
+			GoSrc: `for i := 0; i < deg; i++ {
+	a.Reduce(u, 1)
+}
+_ = a.Read(u)`,
+		},
+		{
+			Name: "sibling_else_branches",
+			OK:   true,
+			// Go-only: the IR has no else branch, and its two consecutive
+			// If statements are sequential (the read would be reachable).
+			GoSrc: `if u < 10 {
+	a.Reduce(u, 1)
+} else {
+	_ = a.Read(u)
+}`,
+		},
+		{
+			Name: "edge_dst_outside_foredges",
+			OK:   false,
+			// IR-only structural rule: EdgeDst is bound by ForEdges.
+			IR: irProgram("edge-dst-outside",
+				compiler.Read{Dst: "x", Map: "a", Key: compiler.EdgeDst{}},
+			),
+		},
+		{
+			Name: "use_before_assign",
+			OK:   false,
+			// IR-only structural rule: Go's compiler already rejects this.
+			IR: irProgram("use-before-assign",
+				compiler.Reduce{Map: "a", Key: compiler.Active{}, Val: compiler.Var{Name: "ghost"}},
+			),
+		},
+		{
+			Name: "branch_local_use_after_if",
+			OK:   false,
+			// IR-only: a variable assigned only under a condition may be
+			// unassigned on other paths.
+			IR: irProgram("branch-local-escape",
+				compiler.If{Cond: lt10, Then: []compiler.Stmt{
+					compiler.Assign{Dst: "only_here", Val: compiler.Const{V: 1}},
+				}},
+				compiler.Reduce{Map: "a", Key: compiler.Active{}, Val: compiler.Var{Name: "only_here"}},
+			),
+		},
+	}
+}

@@ -1,0 +1,12 @@
+package cautiousop_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/analysistest"
+	"kimbap/internal/analysis/cautiousop"
+)
+
+func TestCautiousOp(t *testing.T) {
+	analysistest.Run(t, cautiousop.Analyzer, "cautiousop")
+}

@@ -1,0 +1,78 @@
+package cautiousop_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kimbap/internal/analysis/cautiouscases"
+	"kimbap/internal/analysis/cautiousop"
+	"kimbap/internal/analysis/checker"
+	"kimbap/internal/analysis/framework"
+	"kimbap/internal/analysis/load"
+)
+
+// prelude gives each rendered case the same surface the analyzer sees in
+// the real runtime: an apply entry point and a reducible map type.
+const prelude = `package tablecase
+
+type host struct{}
+
+func (h *host) ParForNodes(n int, op func(u int)) {
+	for u := 0; u < n; u++ {
+		op(u)
+	}
+}
+
+type propMap struct{ v []float64 }
+
+func (m *propMap) Read(u int) float64      { return m.v[u] }
+func (m *propMap) Reduce(u int, x float64) { m.v[u] += x }
+
+func operator(h *host, a, b *propMap, n, deg int) {
+	h.ParForNodes(n, func(u int) {
+		_, _, _ = a, b, deg
+%s
+	})
+}
+`
+
+// TestCautiousOpAgreesWithSharedTable runs the Go side of the shared
+// cautious-operator table (internal/analysis/cautiouscases); the
+// compiler's validator test runs the IR side of the same table.
+func TestCautiousOpAgreesWithSharedTable(t *testing.T) {
+	prog, err := load.NewProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cautiouscases.Cases() {
+		if c.GoSrc == "" {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			body := "\t\t" + strings.ReplaceAll(c.GoSrc, "\n", "\n\t\t")
+			src := fmt.Sprintf(prelude, body)
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "case.go"), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := prog.LoadDir("kimbapvet.table/"+c.Name, dir)
+			if err != nil {
+				t.Fatalf("load rendered case: %v\nsource:\n%s", err, src)
+			}
+			diags, err := checker.Run(prog, []*load.Package{pkg},
+				[]*framework.Analyzer{cautiousop.Analyzer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.OK && len(diags) > 0 {
+				t.Errorf("cautious operator flagged: %s", diags[0].Message)
+			}
+			if !c.OK && len(diags) == 0 {
+				t.Errorf("non-cautious operator passed\nsource:\n%s", src)
+			}
+		})
+	}
+}

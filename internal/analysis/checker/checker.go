@@ -1,0 +1,122 @@
+// Package checker drives kimbapvet analyzers over loaded packages,
+// applies //kimbapvet:ignore suppressions, and formats diagnostics. It is
+// shared by cmd/kimbapvet and by analysistest so the two agree on
+// suppression and ordering semantics.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"kimbap/internal/analysis/framework"
+	"kimbap/internal/analysis/load"
+)
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position.
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//kimbapvet:ignore name1,name2 -- reason
+//
+// placed on the diagnostic's line or on the line directly above it. The
+// analyzer list may be "all".
+func Run(prog *load.Program, pkgs []*load.Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	var diags []framework.Diagnostic
+	for _, pkg := range pkgs {
+		ig := collectIgnores(prog.Fset, pkg)
+		for _, a := range analyzers {
+			ds, err := framework.RunAnalyzer(a, prog, pkg)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				if !ig.matches(prog.Fset, d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// Print writes diagnostics in the usual file:line:col format and reports
+// whether any were written.
+func Print(w io.Writer, fset *token.FileSet, diags []framework.Diagnostic) bool {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	return len(diags) > 0
+}
+
+// ignoreSet maps file -> line -> analyzer names suppressed there.
+type ignoreSet map[string]map[int][]string
+
+func collectIgnores(fset *token.FileSet, pkg *load.Package) ignoreSet {
+	ig := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//kimbapvet:ignore")
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				names := strings.Split(rest, ",")
+				for i := range names {
+					names[i] = strings.TrimSpace(names[i])
+				}
+				pos := fset.Position(c.Pos())
+				if ig[pos.Filename] == nil {
+					ig[pos.Filename] = map[int][]string{}
+				}
+				ig[pos.Filename][pos.Line] = append(ig[pos.Filename][pos.Line], names...)
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) matches(fset *token.FileSet, d framework.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := ig[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "all" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileOf returns the syntax file of pkg containing pos, or nil.
+func FileOf(fset *token.FileSet, pkg *load.Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package conflictfree turns the paper's "zero conflicts by construction"
+// claim (§4, Figure 7) into a checked property: every function annotated
+//
+//	//kimbap:conflictfree
+//
+// in its doc comment must not acquire a lock — directly or through any
+// statically resolvable call it can reach. The annotation belongs on the
+// conflict-free reduce-compute paths (the Full map's Reduce and the
+// key-range combine of ReduceSync, the SGR+CF thread-local reduce); the
+// analyzer then proves no sync.Mutex/RWMutex Lock, TryLock, RLock, or
+// shard lockCounting call is reachable from them. StarDist and the
+// GraphLab engines get this guarantee from their DSL compilers; here the
+// annotation plus the analyzer replace the compiler.
+//
+// The call graph is first-order: direct calls and method calls on
+// concrete receivers are followed into any package loaded in the program
+// (function literals inside a checked body are scanned as part of it);
+// calls through interfaces or function values are not resolved and are
+// assumed clean — the transport's Send, for example, may lock internally,
+// but transport locks are not shard conflicts.
+package conflictfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"kimbap/internal/analysis/framework"
+	"kimbap/internal/analysis/load"
+)
+
+// Analyzer is the conflictfree check.
+var Analyzer = &framework.Analyzer{
+	Name: "conflictfree",
+	Doc:  "prove //kimbap:conflictfree functions reach no Lock/TryLock/lockCounting call",
+	Run:  run,
+}
+
+// annotation marks a function whose call tree must be lock-free.
+const annotation = "//kimbap:conflictfree"
+
+func run(pass *framework.Pass) error {
+	cf := &checker{
+		prog:    pass.Prog,
+		results: map[*types.Func][]string{},
+		active:  map[*types.Func]bool{},
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !annotated(decl) {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if path := cf.check(fn.Origin(), decl, pass.Pkg); path != nil {
+				pass.Reportf(decl.Name.Pos(),
+					"conflict-free path acquires a lock: %s", strings.Join(path, " -> "))
+			}
+		}
+	}
+	return nil
+}
+
+func annotated(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), annotation) {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	prog *load.Program
+	// results memoizes the offending call chain from each function (nil =
+	// proven clean).
+	results map[*types.Func][]string
+	active  map[*types.Func]bool // recursion guard
+}
+
+// check returns the call chain from fn to a lock acquisition, or nil.
+func (c *checker) check(fn *types.Func, decl *ast.FuncDecl, pkg *load.Package) []string {
+	if path, done := c.results[fn]; done {
+		return path
+	}
+	if c.active[fn] {
+		return nil // a cycle adds no new calls
+	}
+	c.active[fn] = true
+	defer delete(c.active, fn)
+
+	var path []string
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if path != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		if isLockAcquire(callee) {
+			path = []string{fnName(fn), fnName(callee)}
+			return false
+		}
+		calleeDecl, calleePkg := c.prog.FuncDecl(callee)
+		if calleeDecl == nil || calleeDecl.Body == nil {
+			return true // no source: interface method or stdlib; assumed clean
+		}
+		if sub := c.check(callee.Origin(), calleeDecl, calleePkg); sub != nil {
+			path = append([]string{fnName(fn)}, sub...)
+			return false
+		}
+		return true
+	})
+	c.results[fn] = path
+	return path
+}
+
+// isLockAcquire reports whether fn is a lock acquisition: a Lock-family
+// method on sync.Mutex/RWMutex, or a conflict-counting shard acquire.
+func isLockAcquire(fn *types.Func) bool {
+	if fn.Name() == "lockCounting" {
+		return true
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "TryLock", "RLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves a call to its static *types.Func, if possible.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func fnName(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

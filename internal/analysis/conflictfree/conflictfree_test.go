@@ -1,0 +1,12 @@
+package conflictfree_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/analysistest"
+	"kimbap/internal/analysis/conflictfree"
+)
+
+func TestConflictFree(t *testing.T) {
+	analysistest.Run(t, conflictfree.Analyzer, "conflictfree")
+}

@@ -1,0 +1,58 @@
+// Golden tests for the conflictfree analyzer: functions annotated
+// //kimbap:conflictfree must not reach a lock acquisition through any
+// statically resolvable call.
+package conflictfree
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+func (s *store) lockCounting() {
+	if s.mu.TryLock() {
+		return
+	}
+	s.mu.Lock()
+}
+
+//kimbap:conflictfree
+func (s *store) reduceClean(u int, x float64) {
+	s.vals[u] += x
+}
+
+//kimbap:conflictfree
+func (s *store) reduceCleanNested(u int, x float64) {
+	s.reduceClean(u, x)
+}
+
+func (s *store) reduceLocked(u int, x float64) {
+	s.mu.Lock()
+	s.vals[u] += x
+	s.mu.Unlock()
+}
+
+//kimbap:conflictfree
+func (s *store) reduceDirectLock(u int, x float64) { // want `conflict-free path acquires a lock: store.reduceDirectLock -> Mutex.Lock`
+	s.mu.Lock()
+	s.vals[u] += x
+	s.mu.Unlock()
+}
+
+//kimbap:conflictfree
+func (s *store) reduceViaLocked(u int, x float64) { // want `conflict-free path acquires a lock: store.reduceViaLocked -> store.reduceLocked -> Mutex.Lock`
+	s.reduceLocked(u, x)
+}
+
+//kimbap:conflictfree
+func (s *store) reduceViaCounting(u int, x float64) { // want `store.reduceViaCounting -> store.lockCounting`
+	s.lockCounting()
+	defer s.mu.Unlock()
+	s.vals[u] += x
+}
+
+// Unannotated functions may lock freely.
+func (s *store) applySync(u int, x float64) {
+	s.reduceLocked(u, x)
+}

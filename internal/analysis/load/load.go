@@ -1,0 +1,284 @@
+// Package load parses and type-checks the module's packages for the
+// kimbapvet analyzers. It is a minimal, offline replacement for
+// golang.org/x/tools/go/packages built entirely on the standard library:
+// module packages ("kimbap/...") are parsed and type-checked from source
+// with their ASTs retained (the analyzers need function bodies across
+// package boundaries), while standard-library imports are delegated to the
+// stdlib source importer. Loading must happen with the process working
+// directory inside the module, because pattern expansion and stdlib
+// resolution shell out to `go list`.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package with its syntax retained.
+type Package struct {
+	// Path is the import path ("kimbap/internal/npm").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's findings for Files.
+	Info *types.Info
+}
+
+// Program is a set of loaded packages sharing one FileSet and importer
+// state.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle detection
+	std     types.ImporterFrom  // stdlib (and anything non-module) from source
+
+	funcDecls map[*types.Func]funcDecl // built lazily by FuncDecl
+}
+
+// errNoGoFiles marks a directory with no non-test Go sources.
+var errNoGoFiles = errors.New("no Go source files")
+
+type funcDecl struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// NewProgram locates the enclosing module (walking up from the working
+// directory to a go.mod) and returns an empty Program rooted there.
+func NewProgram() (*Program, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	modDir := dir
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("load: no go.mod found above %s", dir)
+		}
+		modDir = parent
+	}
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("load: no module directive in %s/go.mod", modDir)
+	}
+	fset := token.NewFileSet()
+	p := &Program{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	p.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return p, nil
+}
+
+// LoadPatterns expands go-list patterns (e.g. "./...") into module packages
+// and loads each. Non-module packages matched by a pattern are ignored.
+func (p *Program) LoadPatterns(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = p.ModuleDir
+	out, err := cmd.Output()
+	if err != nil {
+		detail := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			detail = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("load: go list %v: %w%s", patterns, err, detail)
+	}
+	var pkgs []*Package
+	for _, path := range strings.Fields(string(out)) {
+		if path != p.ModulePath && !strings.HasPrefix(path, p.ModulePath+"/") {
+			continue
+		}
+		pkg, err := p.Load(path)
+		if err != nil {
+			if errors.Is(err, errNoGoFiles) {
+				continue // test-only package
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Load parses and type-checks the module package with the given import
+// path (loading its module dependencies recursively). Results are cached.
+func (p *Program) Load(path string) (*Package, error) {
+	if pkg, ok := p.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if p.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, p.ModulePath), "/")
+	dir := filepath.Join(p.ModuleDir, filepath.FromSlash(rel))
+	return p.loadDir(path, dir)
+}
+
+// LoadDir parses and type-checks the package in dir under a synthetic
+// import path. It is used by analysistest to load testdata packages that
+// live outside the module's import space.
+func (p *Program) LoadDir(path, dir string) (*Package, error) {
+	if pkg, ok := p.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return p.loadDir(path, dir)
+}
+
+func (p *Program) loadDir(path, dir string) (*Package, error) {
+	p.loading[path] = true
+	defer delete(p.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: %s: %w in %s", path, errNoGoFiles, dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return p.Fset.File(files[i].Pos()).Name() < p.Fset.File(files[j].Pos()).Name()
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: (*progImporter)(p)}
+	tpkg, err := conf.Check(path, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	p.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Package returns the already-loaded package with the given path, or nil.
+func (p *Program) Package(path string) *Package { return p.pkgs[path] }
+
+// Packages returns all loaded packages (dependencies included), sorted by
+// import path.
+func (p *Program) Packages() []*Package {
+	var out []*Package
+	for _, pkg := range p.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FuncDecl returns the syntax of fn's declaration and the package holding
+// it, if fn belongs to a loaded package. Generic instantiations are
+// resolved to their origin declaration.
+func (p *Program) FuncDecl(fn *types.Func) (*ast.FuncDecl, *Package) {
+	if fn == nil {
+		return nil, nil
+	}
+	fn = fn.Origin()
+	if p.funcDecls == nil {
+		p.funcDecls = map[*types.Func]funcDecl{}
+	}
+	if fd, ok := p.funcDecls[fn]; ok {
+		return fd.decl, fd.pkg
+	}
+	// Index the declaring package on first miss.
+	if fn.Pkg() == nil {
+		return nil, nil
+	}
+	pkg := p.pkgs[fn.Pkg().Path()]
+	if pkg == nil {
+		return nil, nil
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+				p.funcDecls[obj.Origin()] = funcDecl{decl, pkg}
+			}
+		}
+	}
+	fd := p.funcDecls[fn]
+	return fd.decl, fd.pkg
+}
+
+// progImporter resolves imports during type checking: module packages come
+// from the Program itself (keeping their ASTs), everything else from the
+// stdlib source importer.
+type progImporter Program
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, "", 0)
+}
+
+func (pi *progImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	p := (*Program)(pi)
+	if path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/") {
+		pkg, err := p.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if srcDir == "" {
+		srcDir = p.ModuleDir
+	}
+	return p.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,137 @@
+// Golden tests for the lockdiscipline analyzer: Lock/Unlock pairing on
+// all forward paths and no blocking operation while a mutex is held.
+package lockdiscipline
+
+import (
+	"sync"
+
+	"kimbap/internal/comm"
+)
+
+type shard struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+func deferPair(sh *shard, k, v int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[k] = v
+}
+
+func explicitPair(sh *shard, k int) int {
+	sh.mu.Lock()
+	v := sh.m[k]
+	sh.mu.Unlock()
+	return v
+}
+
+func leakOnEarlyReturn(sh *shard, k int) int {
+	sh.mu.Lock() // want `sh.mu.Lock\(\) is not released on all paths`
+	if k < 0 {
+		return 0
+	}
+	v := sh.m[k]
+	sh.mu.Unlock()
+	return v
+}
+
+func leakAtFunctionEnd(sh *shard, k, v int) {
+	sh.mu.Lock() // want `sh.mu.Lock\(\) is not released on all paths`
+	sh.m[k] = v
+}
+
+func divergingBranches(sh *shard, cond bool) {
+	if cond { // want `lock state diverges across if/else branches`
+		sh.mu.Lock()
+	}
+	sh.mu.Unlock()
+}
+
+func tryLockIdiom(sh *shard, k, v int) bool {
+	if sh.mu.TryLock() {
+		sh.m[k] = v
+		sh.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+func negatedTryLockIdiom(sh *shard, k, v int) {
+	if !sh.mu.TryLock() {
+		return
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+func tryLockResultIgnored(sh *shard) {
+	sh.mu.TryLock() // want `result of sh.mu.TryLock\(\) ignored`
+	sh.mu.Unlock()
+}
+
+func sendWhileLocked(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	ch <- 1 // want `channel send while holding sh.mu`
+	sh.mu.Unlock()
+}
+
+func recvWhileDeferLocked(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	<-ch // want `channel receive while holding sh.mu`
+}
+
+func barrierWhileLocked(sh *shard, ep comm.Endpoint) {
+	sh.mu.Lock()
+	comm.Barrier(ep) // want `comm.Barrier call while holding sh.mu`
+	sh.mu.Unlock()
+}
+
+// Codec helpers never block: no diagnostic.
+func codecWhileLocked(sh *shard, buf []byte) []byte {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return comm.AppendUint32(buf, 7)
+}
+
+func barrierAfterUnlock(sh *shard, ep comm.Endpoint, k, v int) {
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+	comm.Barrier(ep)
+}
+
+// Per-iteration lock/unlock (the memory-accounting idiom) is fine.
+func lockPerIteration(shards []shard) {
+	for i := range shards {
+		shards[i].mu.Lock()
+		shards[i].mu.Unlock()
+	}
+}
+
+func lockHeldAcrossIterations(shards []shard) {
+	for i := range shards { // want `lock state changes across loop iteration`
+		shards[i].mu.Lock()
+	}
+}
+
+// The conflict-counting acquire wrapper intentionally returns holding
+// sh.mu; the analyzer exempts it and models its callers correctly.
+func (sh *shard) lockCounting() {
+	if sh.mu.TryLock() {
+		return
+	}
+	sh.mu.Lock()
+}
+
+func useAcquireWrapper(sh *shard, k, v int) {
+	sh.lockCounting()
+	defer sh.mu.Unlock()
+	sh.m[k] = v
+}
+
+func wrapperLeaks(sh *shard, k, v int) {
+	sh.lockCounting() // want `sh.mu.Lock\(\) is not released on all paths`
+	sh.m[k] = v
+}

@@ -162,11 +162,11 @@ func (c Config) RunCC(g *graph.Graph, hosts int, pol partition.Policy,
 			store = kvstore.NewCluster(hosts, hosts)
 			acfg.Store = store
 		}
-		npm.ResetConflicts()
+		w := npm.BeginConflictWindow()
 		r := c.runSPMD(g, hosts, pol, func(h *runtime.Host) {
 			algo(h, acfg, out)
 		})
-		r.Conflicts = npm.ConflictCount() + casRetries(store, hosts)
+		r.Conflicts = w.End() + casRetries(store, hosts)
 		return r
 	})
 }
@@ -213,7 +213,7 @@ func (c Config) RunLV(g *graph.Graph, hosts int, variant npm.Variant, earlyTerm 
 			store = kvstore.NewCluster(hosts, hosts)
 			acfg.Store = store
 		}
-		npm.ResetConflicts()
+		w := npm.BeginConflictWindow()
 		start := time.Now()
 		res, err := algorithms.Louvain(g, runtime.Config{
 			NumHosts: hosts, ThreadsPerHost: c.Threads,
@@ -224,7 +224,7 @@ func (c Config) RunLV(g *graph.Graph, hosts int, variant npm.Variant, earlyTerm 
 		return Result{
 			Wall: time.Since(start), Compute: res.Compute, Comm: res.Comm,
 			Request: res.Request, Reduce: res.Reduce, Broadcast: res.Broadcast,
-			Conflicts: npm.ConflictCount() + casRetries(store, hosts),
+			Conflicts: w.End() + casRetries(store, hosts),
 		}
 	})
 }

@@ -1,0 +1,30 @@
+// External test package: cautiouscases imports compiler, so the shared
+// table must be consumed from outside the package to avoid a cycle.
+package compiler_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/cautiouscases"
+	"kimbap/internal/compiler"
+)
+
+// TestValidateAgreesWithSharedTable runs the IR side of the shared
+// cautious-operator table; the cautiousop analyzer test runs the Go side
+// of the same table, so the two §3.2 checkers cannot drift apart.
+func TestValidateAgreesWithSharedTable(t *testing.T) {
+	for _, c := range cautiouscases.Cases() {
+		if c.IR == nil {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			err := compiler.Validate(c.IR())
+			if c.OK && err != nil {
+				t.Errorf("valid operator rejected: %v", err)
+			}
+			if !c.OK && err == nil {
+				t.Error("invalid operator accepted")
+			}
+		})
+	}
+}

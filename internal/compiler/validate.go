@@ -50,13 +50,27 @@ func validateLoop(p *Program, loop *Loop) error {
 }
 
 // forwardReachableFrom returns the CFG nodes reachable from start without
-// traversing loop back edges.
+// traversing loop back edges. A back edge separates loop *iterations*,
+// not the loop's exit: control that reaches the end of an edge-loop body
+// still flows to the statements after the loop, so the traversal resumes
+// at the loop head's non-body successors (the exit continuation) while
+// skipping the body re-entry. A Read after a ForEdges therefore does
+// follow a Reduce inside it, exactly as in the Go-level cautiousop
+// analyzer, while a Read at the top of the next iteration does not.
 func (c *cfg) forwardReachableFrom(start int) []bool {
 	seen := make([]bool, len(c.nodes))
 	var visit func(n int)
 	visit = func(n int) {
 		for _, s := range c.nodes[n].succs {
 			if c.backEdges[[2]int{n, s}] {
+			exits:
+				for _, out := range c.nodes[s].succs {
+					if out == c.nodes[s].bodyEntry || seen[out] {
+						continue exits
+					}
+					seen[out] = true
+					visit(out)
+				}
 				continue
 			}
 			if !seen[s] {

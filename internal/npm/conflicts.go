@@ -10,14 +10,57 @@ import "sync/atomic"
 // never take locks during reduce-compute and report zero by construction.
 //
 // The counter is process-global instrumentation; experiments reset it
-// around each measured run. MC-variant conflicts are counted separately
-// as CAS retries by the kvstore.
-var conflictCount atomic.Int64
+// around each measured run. Because it is process-global, two interleaved
+// measurements would silently steal each other's counts — measured runs
+// therefore claim the counter through BeginConflictWindow, which makes
+// the interleaving a panic instead of a corrupted number. MC-variant
+// conflicts are counted separately as CAS retries by the kvstore.
+var (
+	conflictCount atomic.Int64
+	windowOpen    atomic.Bool
+)
 
-// ResetConflicts zeroes the shared-map conflict counter.
-func ResetConflicts() { conflictCount.Store(0) }
+// ConflictWindow is an exclusive claim on the conflict counter for one
+// measured run, created by BeginConflictWindow and released by End.
+type ConflictWindow struct {
+	ended atomic.Bool
+}
 
-// ConflictCount returns shared-map lock conflicts since the last reset.
+// BeginConflictWindow zeroes the conflict counter and claims it until
+// End. It panics if another window is still open: overlapping windows
+// mean two harness measurements are interleaving and both counts would
+// be garbage.
+func BeginConflictWindow() *ConflictWindow {
+	if !windowOpen.CompareAndSwap(false, true) {
+		panic("npm: conflict window already open (interleaved measurements?)")
+	}
+	conflictCount.Store(0)
+	return &ConflictWindow{}
+}
+
+// End closes the window and returns the conflicts counted within it. It
+// panics if called twice.
+func (w *ConflictWindow) End() int64 {
+	if !w.ended.CompareAndSwap(false, true) {
+		panic("npm: conflict window ended twice")
+	}
+	n := conflictCount.Load()
+	windowOpen.Store(false)
+	return n
+}
+
+// ResetConflicts zeroes the shared-map conflict counter. It panics while
+// a ConflictWindow is open — resetting mid-window would corrupt the
+// owning measurement.
+func ResetConflicts() {
+	if windowOpen.Load() {
+		panic("npm: ResetConflicts inside an open conflict window")
+	}
+	conflictCount.Store(0)
+}
+
+// ConflictCount returns shared-map lock conflicts since the last reset
+// or window start.
 func ConflictCount() int64 { return conflictCount.Load() }
 
 // lockCounting acquires the shard lock, counting a conflict if it was

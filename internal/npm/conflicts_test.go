@@ -1,0 +1,170 @@
+package npm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"kimbap/internal/graph"
+)
+
+// The conflict counter must measure exactly one thing: reductions that
+// found a shared-map shard lock held during reduce-compute. Contended
+// reads (the request path) and the sync-phase ReduceChanged applies are
+// ordinary lock costs, not thread conflicts — counting them would make
+// the conflict-free variants report nonzero counts whenever the request
+// path races the apply loop.
+
+// contend holds s's only shard lock while op runs in another goroutine,
+// guaranteeing op's acquisition is contended.
+func contend(t *testing.T, s *shardedMap[float64], op func()) {
+	t.Helper()
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		op()
+	}()
+	// Give op time to block on (or TryLock-fail against) the held lock.
+	time.Sleep(20 * time.Millisecond)
+	sh.mu.Unlock()
+	<-done
+}
+
+func TestShardedGetDoesNotCountConflicts(t *testing.T) {
+	s := newShardedMapN[float64](1)
+	s.Set(1, 2.5)
+	ResetConflicts()
+	contend(t, s, func() {
+		if v, ok := s.Get(1); !ok || v != 2.5 {
+			t.Errorf("Get(1) = %v, %v; want 2.5, true", v, ok)
+		}
+	})
+	if got := ConflictCount(); got != 0 {
+		t.Errorf("contended Get counted %d conflicts; reads are not reductions", got)
+	}
+}
+
+func TestShardedSetDoesNotCountConflicts(t *testing.T) {
+	s := newShardedMapN[float64](1)
+	ResetConflicts()
+	contend(t, s, func() { s.Set(7, 1) })
+	if got := ConflictCount(); got != 0 {
+		t.Errorf("contended Set counted %d conflicts; sets are not reductions", got)
+	}
+}
+
+func TestReduceChangedDoesNotCountConflicts(t *testing.T) {
+	s := newShardedMapN[float64](1)
+	s.Set(3, 1)
+	ResetConflicts()
+	contend(t, s, func() {
+		s.ReduceChanged(3, 2, func(a, b float64) float64 { return a + b })
+	})
+	if got := ConflictCount(); got != 0 {
+		t.Errorf("contended sync-phase ReduceChanged counted %d conflicts", got)
+	}
+	if v, _ := s.Get(3); v != 3 {
+		t.Errorf("ReduceChanged result = %v; want 3", v)
+	}
+}
+
+func TestSharedReduceCountsConflicts(t *testing.T) {
+	s := newShardedMapN[float64](1)
+	ResetConflicts()
+	contend(t, s, func() {
+		s.Reduce(5, 1, func(a, b float64) float64 { return a + b })
+	})
+	if got := ConflictCount(); got < 1 {
+		t.Errorf("contended compute-phase Reduce counted %d conflicts; want >= 1", got)
+	}
+}
+
+func TestUncontendedReduceCountsNothing(t *testing.T) {
+	s := newShardedMap[float64]()
+	ResetConflicts()
+	for k := graph.NodeID(0); k < 100; k++ {
+		s.Reduce(k, 1, func(a, b float64) float64 { return a + b })
+	}
+	if got := ConflictCount(); got != 0 {
+		t.Errorf("uncontended reduces counted %d conflicts", got)
+	}
+}
+
+func TestConflictWindowExclusive(t *testing.T) {
+	w := BeginConflictWindow()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested BeginConflictWindow did not panic")
+			}
+		}()
+		BeginConflictWindow()
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ResetConflicts inside an open window did not panic")
+			}
+		}()
+		ResetConflicts()
+	}()
+
+	conflictCount.Add(4)
+	if got := w.End(); got != 4 {
+		t.Errorf("window counted %d conflicts; want 4", got)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double End did not panic")
+			}
+		}()
+		w.End()
+	}()
+
+	// The counter is free again after End.
+	w2 := BeginConflictWindow()
+	if got := w2.End(); got != 0 {
+		t.Errorf("fresh window counted %d conflicts; want 0", got)
+	}
+}
+
+func TestConflictWindowsFromRacingHarnesses(t *testing.T) {
+	// Two harness measurements racing to open a window: exactly one wins,
+	// the loser panics instead of silently corrupting the winner's count.
+	const racers = 8
+	var wins, panics int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					mu.Lock()
+					panics++
+					mu.Unlock()
+				}
+			}()
+			w := BeginConflictWindow()
+			time.Sleep(time.Millisecond)
+			w.End()
+			mu.Lock()
+			wins++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if wins < 1 {
+		t.Error("no racer ever held the conflict window")
+	}
+	if wins+panics != racers {
+		t.Errorf("wins(%d) + panics(%d) != racers(%d)", wins, panics, racers)
+	}
+}

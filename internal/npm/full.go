@@ -110,7 +110,10 @@ func (m *fullMap[V]) Read(n graph.NodeID) V {
 		m.h.Rank, n))
 }
 
-// Reduce implements Map.
+// Reduce implements Map: the CF compute-phase reduce into the calling
+// thread's private map (Figure 7 left side).
+//
+//kimbap:conflictfree
 func (m *fullMap[V]) Reduce(tid int, n graph.NodeID, v V) {
 	m.tl[tid].Reduce(n, v, m.op.Combine)
 }
@@ -260,7 +263,10 @@ func (m *fullMap[V]) mergeCache(keys []graph.NodeID, vals []V) {
 }
 
 // ReduceSync implements Map (§4.1 reduce-sync phase with the Figure 7
-// conflict-free combine).
+// conflict-free combine): disjoint key ranges make the combine, apply,
+// and gather-reduce passes lock free end to end.
+//
+//kimbap:conflictfree
 func (m *fullMap[V]) ReduceSync() {
 	m.h.TimeComm(func() {
 		numHosts := m.hp.NumHosts()
@@ -352,6 +358,8 @@ func (m *fullMap[V]) ReduceSync() {
 // applyToMaster merges v into the canonical master value, tracking change
 // for IsUpdated and the broadcast dirty set. Only ever called from the
 // thread owning k's key range, so the read-modify-write is race free.
+//
+//kimbap:conflictfree
 func (m *fullMap[V]) applyToMaster(k graph.NodeID, v V) {
 	i := k - m.masterLo
 	old := m.masters[i]

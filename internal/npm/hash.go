@@ -122,6 +122,14 @@ func (m *hashMap[V]) Reduce(tid int, n graph.NodeID, v V) {
 		m.sharedPartial.Reduce(n, v, m.op.Combine)
 		return
 	}
+	m.reduceCF(tid, n, v)
+}
+
+// reduceCF is the SGR+CF compute-phase reduce into the calling thread's
+// private map (§4.2).
+//
+//kimbap:conflictfree
+func (m *hashMap[V]) reduceCF(tid int, n graph.NodeID, v V) {
 	m.tl[tid].Reduce(n, v, m.op.Combine)
 }
 
@@ -424,18 +432,22 @@ func (s *shardedMap[V]) shardFor(k graph.NodeID) int {
 	return int(((uint32(k) * 2654435769) >> 16) & s.mask)
 }
 
-// Get returns the value for k.
+// Get returns the value for k. Reads take the shard lock plainly: a
+// conflict is a *reduction* that finds the lock held (conflicts.go), so
+// contended reads and sync-phase traffic must not bump the counter — the
+// conflict-free variants report zero by construction, and Get serves
+// their request path.
 func (s *shardedMap[V]) Get(k graph.NodeID) (V, bool) {
 	sh := &s.shards[s.shardFor(k)]
-	sh.lockCounting()
+	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.m.Get(k)
 }
 
-// Set stores v for k.
+// Set stores v for k. Not a reduction: plain lock, no conflict counting.
 func (s *shardedMap[V]) Set(k graph.NodeID, v V) {
 	sh := &s.shards[s.shardFor(k)]
-	sh.lockCounting()
+	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.m.Set(k, v)
 }
@@ -449,10 +461,13 @@ func (s *shardedMap[V]) Reduce(k graph.NodeID, v V, op func(a, b V) V) {
 }
 
 // ReduceChanged merges v into k's entry and reports whether the stored
-// value changed. V must be comparable at the call site.
+// value changed. V must be comparable at the call site. It is only
+// called while applying combined partials during ReduceSync, after
+// reduce-compute is over, so contention here is sync-phase cost, not a
+// thread conflict: plain lock.
 func (s *shardedMap[V]) ReduceChanged(k graph.NodeID, v V, op func(a, b V) V) bool {
 	sh := &s.shards[s.shardFor(k)]
-	sh.lockCounting()
+	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	old, ok := sh.m.Get(k)
 	if !ok {
