@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race ci
+.PHONY: all build test lint race ci bench
 
 all: build
 
@@ -25,3 +25,9 @@ race:
 	$(GO) test -race ./internal/npm/... ./internal/runtime/... ./internal/comm/...
 
 ci: build test lint race
+
+# bench regenerates BENCH_kimbap.json, the repo's perf-trajectory record.
+# The previous file's wall times are carried into prev_ns_per_op, so the
+# committed file always shows before/after for the sync-path suite.
+bench:
+	$(GO) run ./cmd/kimbap-bench -exp perf -scale full -reps 3 -json BENCH_kimbap.json

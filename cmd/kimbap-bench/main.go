@@ -3,9 +3,13 @@
 //
 //	kimbap-bench -exp all -scale small          # quick pass over everything
 //	kimbap-bench -exp fig11 -scale full -reps 3 # the §6.4 ablation
+//	kimbap-bench -exp perf -json BENCH_kimbap.json # perf trajectory
 //
 // Experiments: table1, table2, table3, fig9, fig10, fig11, fig12,
-// readlocality — or "all".
+// readlocality, policies, memory, abstraction, perf — or "all". The perf
+// experiment additionally writes machine-readable records to the -json
+// path, carrying the replaced file's wall times forward as the "before"
+// half of a before/after comparison (see `make bench`).
 package main
 
 import (
@@ -20,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment name or 'all'")
-		scale   = flag.String("scale", "small", "workload scale: small or full")
-		threads = flag.Int("threads", 4, "worker threads per simulated host")
-		reps    = flag.Int("reps", 1, "timing repetitions (fastest kept)")
-		outPath = flag.String("o", "", "write output to file instead of stdout")
+		exp      = flag.String("exp", "all", "experiment name or 'all'")
+		scale    = flag.String("scale", "small", "workload scale: small or full")
+		threads  = flag.Int("threads", 4, "worker threads per simulated host")
+		reps     = flag.Int("reps", 1, "timing repetitions (fastest kept)")
+		outPath  = flag.String("o", "", "write output to file instead of stdout")
+		jsonPath = flag.String("json", "", "perf experiment: write machine-readable records here")
 	)
 	flag.Parse()
 
@@ -40,9 +45,10 @@ func main() {
 	}
 
 	cfg := bench.Config{
-		Scale:   bench.Scale(*scale),
-		Threads: *threads,
-		Reps:    *reps,
+		Scale:    bench.Scale(*scale),
+		Threads:  *threads,
+		Reps:     *reps,
+		JSONPath: *jsonPath,
 	}
 	names := []string{*exp}
 	if *exp == "all" {

@@ -1,0 +1,89 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/kvstore"
+	"kimbap/internal/npm"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+// Cross-variant equivalence: the ablation variants differ only in how
+// property values are stored and synchronized, so converged results must be
+// bit-identical across Full, SGRCF, SGROnly, and MC — and across host
+// counts. This guards the reduce-sync rewrite (range-bucketed combine,
+// sectioned payloads) against silent semantic drift: a mis-bucketed or
+// double-decoded entry shows up as a diverging label.
+
+func equivalenceGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat": gen.RMAT(9, 6, false, 42),
+		"grid": gen.Grid(16, 16, false, 7),
+	}
+}
+
+func TestCCEquivalentAcrossVariantsAndHosts(t *testing.T) {
+	for gname, g := range equivalenceGraphs() {
+		var ref []graph.NodeID
+		for _, hosts := range []int{1, 4, 8} {
+			for _, v := range npm.Variants {
+				got := runCC(t, g, hosts, partition.OEC, Config{Variant: v}, CCSV)
+				if ref == nil {
+					ref = got
+					continue
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s/%s/%dh: node %d labeled %d, reference %d",
+							gname, v, hosts, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+		ref = nil
+	}
+}
+
+func TestLouvainEquivalentAcrossVariants(t *testing.T) {
+	for gname, g := range equivalenceGraphs() {
+		for _, hosts := range []int{1, 4, 8} {
+			var ref *CDResult
+			var refVariant npm.Variant
+			for _, v := range npm.Variants {
+				cfg := Config{Variant: v}
+				if v == npm.MC {
+					cfg.Store = kvstore.NewCluster(hosts, hosts)
+				}
+				res, err := Louvain(g, runtime.Config{NumHosts: hosts, ThreadsPerHost: 3},
+					cfg, CDOptions{})
+				if err != nil {
+					t.Fatalf("%s/%s/%dh: %v", gname, v, hosts, err)
+				}
+				if ref == nil {
+					r := res
+					ref, refVariant = &r, v
+					continue
+				}
+				// Assignments are integers and must match exactly; the
+				// modularity statistic is a float sum whose addition order
+				// varies with thread scheduling, so it only agrees to
+				// round-off.
+				if math.Abs(res.Modularity-ref.Modularity) > 1e-9 {
+					t.Fatalf("%s/%s/%dh: modularity %v != %s's %v",
+						gname, v, hosts, res.Modularity, refVariant, ref.Modularity)
+				}
+				for i := range ref.Assignment {
+					if res.Assignment[i] != ref.Assignment[i] {
+						t.Fatalf("%s/%s/%dh: node %d assigned %d, %s assigned %d",
+							gname, v, hosts, i, res.Assignment[i],
+							refVariant, ref.Assignment[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -25,9 +25,10 @@ const (
 
 // Config tunes the harness.
 type Config struct {
-	Scale   Scale
-	Threads int // worker threads per simulated host
-	Reps    int // timing repetitions; the minimum is reported
+	Scale    Scale
+	Threads  int    // worker threads per simulated host
+	Reps     int    // timing repetitions; the minimum is reported
+	JSONPath string // perf experiment: machine-readable output (BENCH_kimbap.json)
 }
 
 func (c Config) withDefaults() Config {

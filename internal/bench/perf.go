@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	gort "runtime"
+	"time"
+
+	"kimbap/internal/algorithms"
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/npm"
+	"kimbap/internal/runtime"
+)
+
+// The perf experiment tracks the repo's own performance trajectory: a
+// fixed suite of sync-path microbenchmarks plus one end-to-end run, each
+// reported as wall time, communication volume, conflicts, and allocations
+// per operation. Unlike the paper-reproduction experiments, its subject is
+// this implementation across commits, not the paper's systems — the JSON
+// it emits (BENCH_kimbap.json via `make bench`) carries the previous
+// file's wall times forward so every regeneration shows before/after.
+
+// PerfRecord is one measured configuration in BENCH_kimbap.json.
+type PerfRecord struct {
+	Name         string  `json:"name"`
+	Hosts        int     `json:"hosts"`
+	Threads      int     `json:"threads"`
+	WallNsPerOp  float64 `json:"wall_ns_per_op"`
+	CommMessages int64   `json:"comm_messages"` // per op, cluster-wide
+	CommBytes    int64   `json:"comm_bytes"`    // per op, cluster-wide
+	Conflicts    int64   `json:"conflicts"`     // over the whole measured window
+	AllocsPerOp  float64 `json:"allocs_per_op"` // cluster-wide (process mallocs)
+	// PrevNsPerOp is the wall time recorded in the JSON file this run
+	// replaced, if that file had a matching record — the before half of
+	// the before/after comparison.
+	PrevNsPerOp float64 `json:"prev_ns_per_op,omitempty"`
+}
+
+// perfFile is the on-disk shape of BENCH_kimbap.json.
+type perfFile struct {
+	Schema  string       `json:"schema"`
+	Records []PerfRecord `json:"records"`
+}
+
+const perfSchema = "kimbap-bench/v1"
+
+// perfKey identifies a record across file generations.
+func perfKey(r PerfRecord) string {
+	return fmt.Sprintf("%s/%dh/%dt", r.Name, r.Hosts, r.Threads)
+}
+
+// PerfTo runs the suite, prints a table to w, and — when jsonPath is
+// non-empty — rewrites that file, carrying any matching wall times from
+// its previous contents into PrevNsPerOp.
+func (c Config) PerfTo(w io.Writer, jsonPath string) error {
+	records := []PerfRecord{
+		c.syncPerf("reduce_sync_full", npm.Full, 2, false),
+		c.syncPerf("reduce_sync_full", npm.Full, 8, false),
+		c.syncPerf("reduce_sync_sgrcf", npm.SGRCF, 8, false),
+		c.syncPerf("reduce_sync_sgronly", npm.SGROnly, 8, false),
+		c.syncPerf("reduce_broadcast_full", npm.Full, 8, true),
+		c.ccPerf("cc_sv_full", npm.Full, 4),
+	}
+
+	if jsonPath != "" {
+		prev := map[string]float64{}
+		if old, err := readPerfFile(jsonPath); err == nil {
+			for _, r := range old.Records {
+				prev[perfKey(r)] = r.WallNsPerOp
+			}
+		}
+		for i := range records {
+			records[i].PrevNsPerOp = prev[perfKey(records[i])]
+		}
+		if err := writePerfFile(jsonPath, records); err != nil {
+			return err
+		}
+	}
+
+	t := NewTable(fmt.Sprintf("Perf trajectory (scale %s, %d threads/host)", c.Scale, c.Threads),
+		"name", "hosts", "ns/op", "msgs/op", "bytes/op", "conflicts", "allocs/op", "prev ns/op", "vs prev")
+	for _, r := range records {
+		delta := ""
+		if r.PrevNsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.WallNsPerOp-r.PrevNsPerOp)/r.PrevNsPerOp)
+		}
+		t.Row(r.Name, r.Hosts, r.WallNsPerOp, r.CommMessages, r.CommBytes,
+			r.Conflicts, r.AllocsPerOp, r.PrevNsPerOp, delta)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func readPerfFile(path string) (perfFile, error) {
+	var f perfFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+func writePerfFile(path string, records []PerfRecord) error {
+	data, err := json.MarshalIndent(perfFile{Schema: perfSchema, Records: records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// perfGraph returns the suite's fixed input: the same R-MAT the npm
+// package's go-test benchmarks use at full scale, a quarter-size one at
+// small scale so the smoke path stays fast.
+func (c Config) perfGraph() (*graph.Graph, int) {
+	if c.Scale == Full {
+		return gen.RMAT(11, 8, false, 3), 40
+	}
+	return gen.RMAT(9, 8, false, 3), 5
+}
+
+// syncPerf measures a reduce (optionally + broadcast) round: warm the
+// cluster, then time iters rounds while sampling comm stats, process
+// mallocs, and the conflict counter around the measured window. Reps
+// windows are run and the fastest kept.
+func (c Config) syncPerf(name string, variant npm.Variant, hosts int, pin bool) PerfRecord {
+	g, iters := c.perfGraph()
+	cluster, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: hosts, ThreadsPerHost: c.Threads,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	const warmup = 3
+	maps := make([]npm.Map[graph.NodeID], hosts)
+	rounds := func(h *runtime.Host, base, n int) {
+		m := maps[h.Rank]
+		total := h.HP.NumGlobalNodes()
+		for i := base; i < base+n; i++ {
+			h.ParFor(1024, func(tid, j int) {
+				m.Reduce(tid, graph.NodeID((j*31+i)%total), graph.NodeID(j%total))
+			})
+			m.ReduceSync()
+			if pin {
+				m.BroadcastSync()
+			}
+		}
+	}
+	cluster.Run(func(h *runtime.Host) {
+		m := npm.New(npm.Options[graph.NodeID]{
+			Host: h, Op: npm.MinNodeID(), Codec: npm.NodeIDCodec{}, Variant: variant,
+		})
+		maps[h.Rank] = m
+		h.ParForNodes(func(_ int, l graph.NodeID) {
+			gid := h.HP.GlobalID(l)
+			m.Set(gid, gid)
+		})
+		m.InitSync()
+		if pin {
+			m.PinMirrors()
+		}
+		rounds(h, 0, warmup)
+	})
+
+	rec := PerfRecord{Name: name, Hosts: hosts, Threads: c.Threads}
+	best := time.Duration(-1)
+	for rep := 0; rep < c.Reps; rep++ {
+		base := warmup + rep*iters
+		cw := npm.BeginConflictWindow()
+		msgs0, bytes0 := cluster.CommStats()
+		var ms0, ms1 gort.MemStats
+		gort.ReadMemStats(&ms0)
+		start := time.Now()
+		cluster.Run(func(h *runtime.Host) { rounds(h, base, iters) })
+		wall := time.Since(start)
+		gort.ReadMemStats(&ms1)
+		msgs1, bytes1 := cluster.CommStats()
+		conflicts := cw.End()
+		if best < 0 || wall < best {
+			best = wall
+			rec.WallNsPerOp = float64(wall.Nanoseconds()) / float64(iters)
+			rec.CommMessages = (msgs1 - msgs0) / int64(iters)
+			rec.CommBytes = (bytes1 - bytes0) / int64(iters)
+			rec.Conflicts = conflicts
+			rec.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+		}
+	}
+	return rec
+}
+
+// ccPerf measures one end-to-end CC-SV run (op = the whole computation).
+func (c Config) ccPerf(name string, variant npm.Variant, hosts int) PerfRecord {
+	g, _ := c.perfGraph()
+	rec := PerfRecord{Name: name, Hosts: hosts, Threads: c.Threads}
+	best := time.Duration(-1)
+	for rep := 0; rep < c.Reps; rep++ {
+		cluster, err := runtime.NewCluster(g, runtime.Config{
+			NumHosts: hosts, ThreadsPerHost: c.Threads,
+		})
+		if err != nil {
+			panic(err)
+		}
+		out := make([]graph.NodeID, g.NumNodes())
+		cw := npm.BeginConflictWindow()
+		var ms0, ms1 gort.MemStats
+		gort.ReadMemStats(&ms0)
+		start := time.Now()
+		cluster.Run(func(h *runtime.Host) {
+			algorithms.CCSV(h, algorithms.Config{Variant: variant}, out)
+		})
+		wall := time.Since(start)
+		gort.ReadMemStats(&ms1)
+		msgs, bytes := cluster.CommStats()
+		conflicts := cw.End()
+		cluster.Close()
+		if best < 0 || wall < best {
+			best = wall
+			rec.WallNsPerOp = float64(wall.Nanoseconds())
+			rec.CommMessages = msgs
+			rec.CommBytes = bytes
+			rec.Conflicts = conflicts
+			rec.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
+		}
+	}
+	return rec
+}

@@ -10,6 +10,26 @@
 //
 // Endpoints account for messages and bytes sent so experiments can report
 // communication volume.
+//
+// # Buffer ownership
+//
+// Send takes the payload by reference on the in-memory transport (the TCP
+// transport copies it into the socket), so a sender that recycles payload
+// buffers across BSP rounds must not overwrite a buffer that a receiver may
+// still be reading. The contract the npm sync phases follow:
+//
+//   - Receivers finish reading a round's payloads before issuing the sends
+//     of their next collective (recycle-after-round).
+//   - Senders double-buffer: a send buffer is reused no sooner than two
+//     rounds later. By then the receiver has completed the intervening
+//     collective, which it could only do after every peer sent it — and
+//     SPMD programs issue collectives in the same order on every host, so
+//     those sends happen after the peers finished reading the earlier
+//     round. Hence no receiver can still hold a reference.
+//
+// Payloads returned by Recv are owned by the receiver until its next Send
+// on the in-memory transport may recycle them (i.e. treat them as valid
+// only for the current round).
 package comm
 
 import (
@@ -75,6 +95,16 @@ func (c *counters) Stats() (int64, int64) {
 // with the same tag. Sends are issued before receives, so the exchange
 // cannot deadlock on any transport with buffered or asynchronous delivery.
 func Exchange(ep Endpoint, tag Tag, out [][]byte) [][]byte {
+	return ExchangeInto(ep, tag, out, nil)
+}
+
+// ExchangeInto is Exchange with a caller-owned receive slice, so BSP loops
+// can avoid allocating one per round. If in has NumHosts entries it is
+// filled and returned; otherwise a fresh slice is allocated. Payload
+// buffers referenced by out are subject to the package's buffer-ownership
+// contract (see the package comment): callers reusing them across rounds
+// must double-buffer.
+func ExchangeInto(ep Endpoint, tag Tag, out, in [][]byte) [][]byte {
 	n := ep.NumHosts()
 	self := ep.Rank()
 	if len(out) != n {
@@ -86,7 +116,9 @@ func Exchange(ep Endpoint, tag Tag, out [][]byte) [][]byte {
 		}
 		ep.Send(i, tag, out[i])
 	}
-	in := make([][]byte, n)
+	if len(in) != n {
+		in = make([][]byte, n)
+	}
 	in[self] = out[self]
 	for i := 0; i < n; i++ {
 		if i == self {

@@ -49,7 +49,10 @@ func (e *LocalEndpoint) Rank() int { return e.rank }
 // NumHosts implements Endpoint.
 func (e *LocalEndpoint) NumHosts() int { return len(e.fabric.ch) }
 
-// Send implements Endpoint.
+// Send implements Endpoint. The payload is delivered by reference, not
+// copied: the sender must honor the package's buffer-ownership contract and
+// not overwrite the buffer until the receiver's round is over (in BSP
+// terms: double-buffer any recycled send buffers).
 func (e *LocalEndpoint) Send(to int, tag Tag, payload []byte) {
 	if to == e.rank {
 		panic(fmt.Sprintf("comm: host %d sending to itself", to))

@@ -151,8 +151,21 @@ func benchFullMap(b *testing.B) (m *fullMap[graph.NodeID], remote []graph.NodeID
 // BenchmarkReduceSyncFull measures a whole reduce round (combine + SGR +
 // apply) on the Full variant.
 func BenchmarkReduceSyncFull(b *testing.B) {
+	benchReduceSync(b, 2, 4)
+}
+
+// BenchmarkReduceSync8x4 is the headline sync-path microbenchmark: a full
+// reduce round on the Full variant at 8 simulated hosts x 4 threads, the
+// configuration where the combine and gather passes' per-thread redundancy
+// is most expensive.
+func BenchmarkReduceSync8x4(b *testing.B) {
+	benchReduceSync(b, 8, 4)
+}
+
+func benchReduceSync(b *testing.B, hosts, threads int) {
+	b.Helper()
 	g := gen.RMAT(11, 8, false, 3)
-	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 2, ThreadsPerHost: 4})
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: hosts, ThreadsPerHost: threads})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -171,6 +184,37 @@ func BenchmarkReduceSyncFull(b *testing.B) {
 				m.Reduce(tid, graph.NodeID((j*31+i)%n), graph.NodeID(j%n))
 			})
 			m.ReduceSync()
+		}
+	})
+}
+
+// BenchmarkBroadcastSyncFull measures a dirty-bitmask broadcast round with
+// pinned mirrors at 8 hosts x 4 threads.
+func BenchmarkBroadcastSyncFull(b *testing.B) {
+	g := gen.RMAT(11, 8, false, 3)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 8, ThreadsPerHost: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	c.Run(func(h *runtime.Host) {
+		m := New(Options[graph.NodeID]{Host: h, Op: MinNodeID(), Codec: NodeIDCodec{}})
+		h.ParForNodes(func(_ int, l graph.NodeID) {
+			gid := h.HP.GlobalID(l)
+			m.Set(gid, gid)
+		})
+		m.InitSync()
+		m.PinMirrors()
+		lo, hi := h.HP.MasterRangeGlobal()
+		for i := 0; i < b.N; i++ {
+			span := int(hi - lo)
+			h.ParFor(span/4+1, func(tid, j int) {
+				k := lo + graph.NodeID((j*4+i)%span)
+				m.Reduce(tid, k, graph.NodeID(i%int(k+1)))
+			})
+			m.ReduceSync()
+			m.BroadcastSync()
 		}
 	})
 }

@@ -48,8 +48,21 @@ type fullMap[V comparable] struct {
 	cacheKeys []graph.NodeID  // sorted requested remote IDs
 	cacheVals []V
 
-	tl       []*localMap[V] // per-thread reduce maps
-	combined []*localMap[V] // per-thread combine outputs (reused)
+	tl       []*bucketedMap[V] // per-thread reduce maps, bucketed by combine range
+	combined []*localMap[V]    // per-thread combine outputs (reused)
+
+	// Persistent sync-phase buffers, reused across BSP rounds so warm
+	// ReduceSync/BroadcastSync rounds allocate nothing (see the comm
+	// package's buffer-ownership contract).
+	cells     [][][][]byte // [tid][dest][receiver gather thread] encoded entries
+	sendBufs  [2][][]byte  // per-dest reduce payloads, double-buffered
+	sendGen   int
+	bcastBufs [2][][]byte // per-dest broadcast payloads, double-buffered
+	bcastGen  int
+	recvIn    [][]byte // receive slice for ExchangeInto (one round at a time)
+
+	destLo []graph.NodeID // per-host global master-range start
+	destN  []uint64       // per-host master count
 
 	updated       atomic.Bool
 	updatedGlobal bool
@@ -72,13 +85,34 @@ func newFullMap[V comparable](opts Options[V]) *fullMap[V] {
 		masters:     make([]V, hi-lo),
 		masterDirty: runtime.NewBitset(int(hi - lo)),
 		reqBits:     runtime.NewBitset(h.HP.NumGlobalNodes()),
-		tl:          make([]*localMap[V], h.Threads),
+		tl:          make([]*bucketedMap[V], h.Threads),
 		combined:    make([]*localMap[V], h.Threads),
 	}
 	m.trackReads = opts.TrackReads
+	numGlobal := h.HP.NumGlobalNodes()
 	for t := range m.tl {
-		m.tl[t] = newLocalMap[V]()
+		m.tl[t] = newBucketedMap[V](h.Threads, numGlobal)
 		m.combined[t] = newLocalMap[V]()
+	}
+	numHosts := h.HP.NumHosts()
+	m.cells = make([][][][]byte, h.Threads)
+	for t := range m.cells {
+		m.cells[t] = make([][][]byte, numHosts)
+		for o := range m.cells[t] {
+			m.cells[t][o] = make([][]byte, h.Threads)
+		}
+	}
+	for g := range m.sendBufs {
+		m.sendBufs[g] = make([][]byte, numHosts)
+		m.bcastBufs[g] = make([][]byte, numHosts)
+	}
+	m.recvIn = make([][]byte, numHosts)
+	m.destLo = make([]graph.NodeID, numHosts)
+	m.destN = make([]uint64, numHosts)
+	for o := 0; o < numHosts; o++ {
+		olo, ohi := h.HP.MasterRangeOf(o)
+		m.destLo[o] = olo
+		m.destN[o] = uint64(ohi - olo)
 	}
 	return m
 }
@@ -264,7 +298,9 @@ func (m *fullMap[V]) mergeCache(keys []graph.NodeID, vals []V) {
 
 // ReduceSync implements Map (§4.1 reduce-sync phase with the Figure 7
 // conflict-free combine): disjoint key ranges make the combine, apply,
-// and gather-reduce passes lock free end to end.
+// and gather-reduce passes lock free end to end, and range bucketing makes
+// them work-linear — no pass visits an entry or payload byte more than
+// once.
 //
 //kimbap:conflictfree
 func (m *fullMap[V]) ReduceSync() {
@@ -272,79 +308,102 @@ func (m *fullMap[V]) ReduceSync() {
 		numHosts := m.hp.NumHosts()
 		self := m.h.Rank
 		threads := m.h.Threads
-		numGlobal := m.hp.NumGlobalNodes()
 
-		// Combine pass: thread t owns global key range [t*N/T, (t+1)*N/T)
-		// and scans every thread-local map for keys in its range. Ranges
-		// are disjoint, so no two threads touch the same key: conflict
-		// free by construction. Entries owned by this host are applied to
-		// the master vector directly (also conflict free, since a master
-		// key lives in exactly one range).
-		payloads := make([][][]byte, threads) // [tid][dest]
+		// Combine pass: thread t owns global key range [t*N/T, (t+1)*N/T),
+		// which is exactly bucket t of every thread-local map — it drains
+		// those buckets without scanning or filtering the rest. Ranges are
+		// disjoint, so no two threads touch the same key: conflict free by
+		// construction. Entries owned by this host are applied to the
+		// master vector directly (also conflict free, since a master key
+		// lives in exactly one range). Surviving entries are encoded once,
+		// into the cell addressed by (owner host, owner's gather-thread
+		// range), so receivers can hand each section to exactly one gather
+		// thread.
 		m.h.ParFor(threads, func(_, t int) {
-			rlo := graph.NodeID(uint64(t) * uint64(numGlobal) / uint64(threads))
-			rhi := graph.NodeID(uint64(t+1) * uint64(numGlobal) / uint64(threads))
 			out := m.combined[t]
 			out.Reset()
 			for _, src := range m.tl {
-				src.ForEach(func(k graph.NodeID, v V) {
-					if k >= rlo && k < rhi {
-						out.Reduce(k, v, m.op.Combine)
-					}
+				src.buckets[t].ForEach(func(k graph.NodeID, v V) {
+					out.Reduce(k, v, m.op.Combine)
 				})
 			}
-			bufs := make([][]byte, numHosts)
+			cells := m.cells[t]
+			for o := range cells {
+				for rt := range cells[o] {
+					cells[o][rt] = cells[o][rt][:0]
+				}
+			}
 			out.ForEach(func(k graph.NodeID, v V) {
 				o := m.hp.Owner(k)
 				if o == self {
 					m.applyToMaster(k, v)
 					return
 				}
-				bufs[o] = comm.AppendUint32(bufs[o], uint32(k))
-				bufs[o] = m.codec.Append(bufs[o], v)
+				rt := rangeBucket(k-m.destLo[o], uint64(threads), m.destN[o])
+				buf := comm.AppendUint32(cells[o][rt], uint32(k))
+				cells[o][rt] = m.codec.Append(buf, v)
 			})
-			payloads[t] = bufs
 		})
 		for _, t := range m.tl {
 			t.Reset()
 		}
 
-		// Scatter: one message per host pair (concatenating the per-thread
-		// buffers; entry framing is self-delimiting).
-		out := make([][]byte, numHosts)
+		// Scatter: one message per host pair. The payload is framed as
+		// `threads` uint32 section byte-lengths followed by the sections in
+		// the receiver's gather-thread order (each section concatenates the
+		// combine threads' cells for that gather thread). Send buffers are
+		// double-buffered per the comm buffer-ownership contract.
+		out := m.sendBufs[m.sendGen]
+		m.sendGen ^= 1
 		for o := 0; o < numHosts; o++ {
 			if o == self {
 				continue
 			}
-			var buf []byte
-			for t := 0; t < threads; t++ {
-				buf = append(buf, payloads[t][o]...)
+			buf := out[o][:0]
+			total := 0
+			for rt := 0; rt < threads; rt++ {
+				sec := 0
+				for t := 0; t < threads; t++ {
+					sec += len(m.cells[t][o][rt])
+				}
+				buf = comm.AppendUint32(buf, uint32(sec))
+				total += sec
+			}
+			if total == 0 {
+				out[o] = buf[:0] // nothing to send: elide the header too
+				continue
+			}
+			for rt := 0; rt < threads; rt++ {
+				for t := 0; t < threads; t++ {
+					buf = append(buf, m.cells[t][o][rt]...)
+				}
 			}
 			out[o] = buf
 		}
-		in := comm.Exchange(m.h.EP, comm.TagReduce, out)
+		in := comm.ExchangeInto(m.h.EP, comm.TagReduce, out, m.recvIn)
 
-		// Gather-reduce: thread t owns a master-ID range and scans every
-		// incoming payload for keys in its range, applying without locks.
-		entrySize := 4 + m.codec.Size()
-		nMasters := len(m.masters)
+		// Gather-reduce: gather thread t decodes exactly the sections the
+		// senders addressed to its master range — each received byte is
+		// decoded once, by one thread, with no range filtering.
 		m.h.ParFor(threads, func(_, t int) {
-			rlo := m.masterLo + graph.NodeID(uint64(t)*uint64(nMasters)/uint64(threads))
-			rhi := m.masterLo + graph.NodeID(uint64(t+1)*uint64(nMasters)/uint64(threads))
 			for o := 0; o < numHosts; o++ {
-				if o == self {
+				if o == self || len(in[o]) == 0 {
 					continue
 				}
 				payload := in[o]
-				for len(payload) >= entrySize {
+				off := 4 * threads
+				for rt := 0; rt < t; rt++ {
+					u, _ := comm.ReadUint32(payload[4*rt:])
+					off += int(u)
+				}
+				secLen, _ := comm.ReadUint32(payload[4*t:])
+				sec := payload[off : off+int(secLen)]
+				for len(sec) > 0 {
 					var id uint32
-					id, payload = comm.ReadUint32(payload)
+					id, sec = comm.ReadUint32(sec)
 					var v V
-					v, payload = m.codec.Read(payload)
-					k := graph.NodeID(id)
-					if k >= rlo && k < rhi {
-						m.applyToMaster(k, v)
-					}
+					v, sec = m.codec.Read(sec)
+					m.applyToMaster(graph.NodeID(id), v)
 				}
 			}
 		})
@@ -385,24 +444,31 @@ func (m *fullMap[V]) broadcast(full bool) {
 		numHosts := m.hp.NumHosts()
 		self := m.h.Rank
 
-		out := make([][]byte, numHosts)
+		// Payload = dirty bitmask over MasterSendTo[o], then the changed
+		// values in list order. Buffers are double-buffered per the comm
+		// buffer-ownership contract.
+		out := m.bcastBufs[m.bcastGen]
+		m.bcastGen ^= 1
 		for o := 0; o < numHosts; o++ {
 			if o == self {
 				continue
 			}
 			list := m.hp.MasterSendTo[o]
-			mask := make([]byte, (len(list)+7)/8)
-			var vals []byte
+			maskLen := (len(list) + 7) / 8
+			buf := out[o][:0]
+			for i := 0; i < maskLen; i++ {
+				buf = append(buf, 0)
+			}
 			for i, local := range list {
 				if full || m.masterDirty.Test(int(local)) {
-					mask[i/8] |= 1 << (uint(i) % 8)
-					vals = m.codec.Append(vals, m.masters[local])
+					buf[i/8] |= 1 << (uint(i) % 8)
+					buf = m.codec.Append(buf, m.masters[local])
 				}
 			}
-			out[o] = append(mask, vals...)
+			out[o] = buf
 		}
 		m.masterDirty.Clear()
-		in := comm.Exchange(m.h.EP, comm.TagBroadcast, out)
+		in := comm.ExchangeInto(m.h.EP, comm.TagBroadcast, out, m.recvIn)
 
 		for o := 0; o < numHosts; o++ {
 			if o == self {

@@ -36,9 +36,24 @@ type hashMap[V comparable] struct {
 	pinned    bool
 	pinnedIDs []graph.NodeID // partition-mirror global IDs, sorted
 
-	tl            []*localMap[V] // SGR+CF reduce maps
+	tl            []*bucketedMap[V] // SGR+CF reduce maps, bucketed by combine range
 	combined      []*localMap[V]
 	sharedPartial *shardedMap[V] // SGR-only reduce map
+
+	// Persistent sync-phase buffers, reused across BSP rounds (see the
+	// comm package's buffer-ownership contract). Reduce payloads are
+	// framed as `threads` uint32 section byte-lengths followed by the
+	// sections in global key-range order, so each receiving gather thread
+	// decodes exactly one section per payload.
+	cells       [][][]byte // CF: [tid][dest] section bytes (section = tid's range)
+	sharedCells [][][]byte // SGR-only: [dest][range] section bytes
+	sendBufs    [2][][]byte
+	sendGen     int
+	reqBufs     [2][][]byte // fetch request payloads
+	respBufs    [2][][]byte // fetch response payloads
+	fetchGen    int
+	recvIn      [][]byte         // receive slice for ExchangeInto
+	byOwner     [][]graph.NodeID // fetch scratch: requested IDs per owner
 
 	pendingMu   sync.Mutex
 	pendingSets []setEntry[V]
@@ -69,16 +84,33 @@ func newHashMapVariant[V comparable](opts Options[V], shared bool, partialShards
 		cache:   newLocalMap[V](),
 	}
 	m.trackReads = opts.TrackReads
+	numHosts := h.HP.NumHosts()
+	numGlobal := h.HP.NumGlobalNodes()
 	if shared {
 		m.sharedPartial = newShardedMapN[V](partialShards)
+		m.sharedCells = make([][][]byte, numHosts)
+		for o := range m.sharedCells {
+			m.sharedCells[o] = make([][]byte, h.Threads)
+		}
 	} else {
-		m.tl = make([]*localMap[V], h.Threads)
+		m.tl = make([]*bucketedMap[V], h.Threads)
 		m.combined = make([]*localMap[V], h.Threads)
 		for t := range m.tl {
-			m.tl[t] = newLocalMap[V]()
+			m.tl[t] = newBucketedMap[V](h.Threads, numGlobal)
 			m.combined[t] = newLocalMap[V]()
 		}
+		m.cells = make([][][]byte, h.Threads)
+		for t := range m.cells {
+			m.cells[t] = make([][]byte, numHosts)
+		}
 	}
+	for g := range m.sendBufs {
+		m.sendBufs[g] = make([][]byte, numHosts)
+		m.reqBufs[g] = make([][]byte, numHosts)
+		m.respBufs[g] = make([][]byte, numHosts)
+	}
+	m.recvIn = make([][]byte, numHosts)
+	m.byOwner = make([][]graph.NodeID, numHosts)
 	return m
 }
 
@@ -201,34 +233,42 @@ func (m *hashMap[V]) RequestSync() {
 }
 
 // fetch retrieves the given global IDs from their hash owners and stores
-// them in the cache. Collective.
+// them in the cache. Collective. Request and response buffers are
+// persistent and double-buffered, so the repeated fetches PM programs
+// issue (BroadcastSync re-fetches the pinned set every round) allocate
+// nothing in steady state.
 func (m *hashMap[V]) fetch(ids []graph.NodeID) {
 	numHosts := m.hp.NumHosts()
 	self := m.h.Rank
-	byOwner := make([][]graph.NodeID, numHosts)
+	byOwner := m.byOwner
+	for o := range byOwner {
+		byOwner[o] = byOwner[o][:0]
+	}
 	for _, id := range ids {
 		byOwner[m.hashOwner(id)] = append(byOwner[m.hashOwner(id)], id)
 	}
-	out := make([][]byte, numHosts)
+	gen := m.fetchGen
+	m.fetchGen ^= 1
+	out := m.reqBufs[gen]
 	for o, list := range byOwner {
 		if o == self {
 			continue
 		}
-		var buf []byte
+		buf := out[o][:0]
 		for _, id := range list {
 			buf = comm.AppendUint32(buf, uint32(id))
 		}
 		out[o] = buf
 	}
-	in := comm.Exchange(m.h.EP, comm.TagRequest, out)
+	in := comm.ExchangeInto(m.h.EP, comm.TagRequest, out, m.recvIn)
 
-	resp := make([][]byte, numHosts)
+	resp := m.respBufs[gen]
 	for o := 0; o < numHosts; o++ {
 		if o == self {
 			continue
 		}
 		req := in[o]
-		var buf []byte
+		buf := resp[o][:0]
 		for len(req) > 0 {
 			var id uint32
 			id, req = comm.ReadUint32(req)
@@ -240,7 +280,9 @@ func (m *hashMap[V]) fetch(ids []graph.NodeID) {
 		}
 		resp[o] = buf
 	}
-	got := comm.Exchange(m.h.EP, comm.TagResponse, resp)
+	// The request payloads in `in` are fully consumed above, so reusing
+	// the receive slice for the response exchange is safe.
+	got := comm.ExchangeInto(m.h.EP, comm.TagResponse, resp, m.recvIn)
 
 	// Requests within a round accumulate; the cache is invalidated at
 	// ReduceSync, the point where cached values become stale.
@@ -258,84 +300,125 @@ func (m *hashMap[V]) fetch(ids []graph.NodeID) {
 	// Self-owned requests are resolved from the owned map on Read.
 }
 
-// ReduceSync implements Map.
+// ReduceSync implements Map. Payload sections are keyed by global
+// key-range bucket, so receivers fan the decode out across gather threads
+// with each byte decoded exactly once (the same framing Full uses).
 func (m *hashMap[V]) ReduceSync() {
 	m.h.TimeComm(func() {
 		numHosts := m.hp.NumHosts()
 		self := m.h.Rank
+		threads := m.h.Threads
+		numGlobal := uint64(m.hp.NumGlobalNodes())
 
-		out := make([][]byte, numHosts)
 		if m.shared {
 			// SGR-only: drain the shared partial map single-threaded (its
-			// combining happened, with contention, during compute).
+			// combining happened, with contention, during compute),
+			// sectioning remote entries by global key-range bucket.
+			for o := range m.sharedCells {
+				for rt := range m.sharedCells[o] {
+					m.sharedCells[o][rt] = m.sharedCells[o][rt][:0]
+				}
+			}
 			m.sharedPartial.ForEach(func(k graph.NodeID, v V) {
 				o := m.hashOwner(k)
 				if o == self {
 					m.applyToOwned(k, v)
 					return
 				}
-				out[o] = comm.AppendUint32(out[o], uint32(k))
-				out[o] = m.codec.Append(out[o], v)
+				rt := rangeBucket(k, uint64(threads), numGlobal)
+				buf := comm.AppendUint32(m.sharedCells[o][rt], uint32(k))
+				m.sharedCells[o][rt] = m.codec.Append(buf, v)
 			})
 			m.sharedPartial.Reset()
 		} else {
-			// SGR+CF: disjoint key-range combine, exactly as in Full.
-			threads := m.h.Threads
-			numGlobal := m.hp.NumGlobalNodes()
-			payloads := make([][][]byte, threads)
+			// SGR+CF: work-linear combine, exactly as in Full — combine
+			// thread t drains bucket t of every thread-local map, so its
+			// surviving entries are precisely global key-range bucket t and
+			// form section t of every outgoing payload.
 			m.h.ParFor(threads, func(_, t int) {
-				rlo := graph.NodeID(uint64(t) * uint64(numGlobal) / uint64(threads))
-				rhi := graph.NodeID(uint64(t+1) * uint64(numGlobal) / uint64(threads))
 				cm := m.combined[t]
 				cm.Reset()
 				for _, src := range m.tl {
-					src.ForEach(func(k graph.NodeID, v V) {
-						if k >= rlo && k < rhi {
-							cm.Reduce(k, v, m.op.Combine)
-						}
+					src.buckets[t].ForEach(func(k graph.NodeID, v V) {
+						cm.Reduce(k, v, m.op.Combine)
 					})
 				}
-				bufs := make([][]byte, numHosts)
+				cells := m.cells[t]
+				for o := range cells {
+					cells[o] = cells[o][:0]
+				}
 				cm.ForEach(func(k graph.NodeID, v V) {
 					o := m.hashOwner(k)
 					if o == self {
 						m.applyToOwned(k, v)
 						return
 					}
-					bufs[o] = comm.AppendUint32(bufs[o], uint32(k))
-					bufs[o] = m.codec.Append(bufs[o], v)
+					buf := comm.AppendUint32(cells[o], uint32(k))
+					cells[o] = m.codec.Append(buf, v)
 				})
-				payloads[t] = bufs
 			})
 			for _, t := range m.tl {
 				t.Reset()
 			}
-			for o := 0; o < numHosts; o++ {
-				if o == self {
-					continue
-				}
-				var buf []byte
-				for t := 0; t < threads; t++ {
-					buf = append(buf, payloads[t][o]...)
-				}
-				out[o] = buf
-			}
 		}
 
-		in := comm.Exchange(m.h.EP, comm.TagReduce, out)
-		entrySize := 4 + m.codec.Size()
-		for o, payload := range in {
+		// Assemble per-dest payloads: `threads` uint32 section lengths,
+		// then the sections in key-range order. Double-buffered.
+		section := func(o, rt int) []byte {
+			if m.shared {
+				return m.sharedCells[o][rt]
+			}
+			return m.cells[rt][o]
+		}
+		out := m.sendBufs[m.sendGen]
+		m.sendGen ^= 1
+		for o := 0; o < numHosts; o++ {
 			if o == self {
 				continue
 			}
-			for len(payload) >= entrySize {
-				var id uint32
-				id, payload = comm.ReadUint32(payload)
-				var v V
-				v, payload = m.codec.Read(payload)
-				m.applyToOwned(graph.NodeID(id), v)
+			buf := out[o][:0]
+			total := 0
+			for rt := 0; rt < threads; rt++ {
+				n := len(section(o, rt))
+				buf = comm.AppendUint32(buf, uint32(n))
+				total += n
 			}
+			if total == 0 {
+				out[o] = buf[:0]
+				continue
+			}
+			for rt := 0; rt < threads; rt++ {
+				buf = append(buf, section(o, rt)...)
+			}
+			out[o] = buf
 		}
+		in := comm.ExchangeInto(m.h.EP, comm.TagReduce, out, m.recvIn)
+
+		// Gather: thread t decodes section t of every payload — disjoint
+		// key ranges, each byte decoded once. The owned map's shard locks
+		// make the concurrent applies safe.
+		m.h.ParFor(threads, func(_, t int) {
+			for o := 0; o < numHosts; o++ {
+				if o == self || len(in[o]) == 0 {
+					continue
+				}
+				payload := in[o]
+				off := 4 * threads
+				for rt := 0; rt < t; rt++ {
+					u, _ := comm.ReadUint32(payload[4*rt:])
+					off += int(u)
+				}
+				secLen, _ := comm.ReadUint32(payload[4*t:])
+				sec := payload[off : off+int(secLen)]
+				for len(sec) > 0 {
+					var id uint32
+					id, sec = comm.ReadUint32(sec)
+					var v V
+					v, sec = m.codec.Read(sec)
+					m.applyToOwned(graph.NodeID(id), v)
+				}
+			}
+		})
 
 		// All cached values (requested and pinned alike) are stale now;
 		// the BroadcastSync that PM programs issue next re-fetches the

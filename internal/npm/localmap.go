@@ -91,7 +91,11 @@ func (m *localMap[V]) Set(key graph.NodeID, v V) {
 
 func (m *localMap[V]) grow() {
 	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
-	m.used = nil
+	// init truncates m.used in place, keeping its capacity, so the rehash
+	// appends never reallocate the insertion-order slice. oldUsed aliases
+	// the same backing array, but insertFresh appends exactly one slot per
+	// old entry: the write to index j lands only after iteration j has
+	// already read oldUsed[j].
 	m.init(len(oldKeys) * 2)
 	for _, s := range oldUsed {
 		m.insertFresh(oldKeys[s], oldVals[s])

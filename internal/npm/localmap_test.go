@@ -56,6 +56,45 @@ func TestLocalMapGrowth(t *testing.T) {
 	}
 }
 
+// TestLocalMapGrowKeepsUsedCapacity pins the growth path's buffer reuse:
+// grow must rehash into the existing insertion-order slice (truncated in
+// place), not discard it and re-allocate append by append.
+func TestLocalMapGrowKeepsUsedCapacity(t *testing.T) {
+	m := newLocalMap[int]()
+	// Fill to just below the 70% load threshold of the initial capacity.
+	n := localMapMinCap * 7 / 10
+	for i := 0; i < n; i++ {
+		m.Set(graph.NodeID(i), i)
+	}
+	if len(m.keys) != localMapMinCap {
+		t.Fatalf("map grew early: capacity %d after %d inserts", len(m.keys), n)
+	}
+	before := &m.used[0]
+	m.Set(graph.NodeID(n), n) // crosses the threshold: triggers grow
+	if len(m.keys) != 2*localMapMinCap {
+		t.Fatalf("expected growth to %d slots, got %d", 2*localMapMinCap, len(m.keys))
+	}
+	if &m.used[0] != before {
+		t.Error("grow re-allocated the insertion-order slice instead of reusing it")
+	}
+	// Growth must preserve contents and insertion order.
+	var order []graph.NodeID
+	m.ForEach(func(k graph.NodeID, v int) {
+		order = append(order, k)
+		if int(k) != v {
+			t.Errorf("entry %d holds %d after growth", k, v)
+		}
+	})
+	if len(order) != n+1 {
+		t.Fatalf("ForEach visited %d entries, want %d", len(order), n+1)
+	}
+	for i, k := range order {
+		if k != graph.NodeID(i) {
+			t.Fatalf("insertion order broken at %d: got key %d", i, k)
+		}
+	}
+}
+
 func TestLocalMapReset(t *testing.T) {
 	m := newLocalMap[int]()
 	for i := 0; i < 100; i++ {

@@ -54,6 +54,22 @@ func (m *fullMap[V]) MemoryFootprint() int64 {
 	for _, t := range m.combined {
 		total += t.footprint(vs)
 	}
+	// Persistent sync-phase buffers (reused across rounds).
+	for _, perTid := range m.cells {
+		for _, perDest := range perTid {
+			for _, b := range perDest {
+				total += int64(cap(b))
+			}
+		}
+	}
+	for g := range m.sendBufs {
+		for _, b := range m.sendBufs[g] {
+			total += int64(cap(b))
+		}
+		for _, b := range m.bcastBufs[g] {
+			total += int64(cap(b))
+		}
+	}
 	return total
 }
 
@@ -72,6 +88,28 @@ func (m *hashMap[V]) MemoryFootprint() int64 {
 	}
 	if m.sharedPartial != nil {
 		total += m.sharedPartial.footprint(vs)
+	}
+	// Persistent sync-phase buffers (reused across rounds).
+	for _, perDest := range m.cells {
+		for _, b := range perDest {
+			total += int64(cap(b))
+		}
+	}
+	for _, perDest := range m.sharedCells {
+		for _, b := range perDest {
+			total += int64(cap(b))
+		}
+	}
+	for g := range m.sendBufs {
+		for _, b := range m.sendBufs[g] {
+			total += int64(cap(b))
+		}
+		for _, b := range m.reqBufs[g] {
+			total += int64(cap(b))
+		}
+		for _, b := range m.respBufs[g] {
+			total += int64(cap(b))
+		}
 	}
 	return total
 }

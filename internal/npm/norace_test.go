@@ -1,0 +1,5 @@
+//go:build !race
+
+package npm
+
+const raceEnabled = false

@@ -322,6 +322,14 @@ func (hp *HostPartition) MasterRangeGlobal() (lo, hi graph.NodeID) {
 	return hp.part.MasterRange(hp.Host)
 }
 
+// MasterRangeOf returns the global master range of host h. The partition is
+// temporally invariant, so senders can compute a receiver's thread-range
+// layout from it — the basis for addressing scatter payload sections at the
+// receiver's gather threads.
+func (hp *HostPartition) MasterRangeOf(h int) (lo, hi graph.NodeID) {
+	return hp.part.MasterRange(h)
+}
+
 func (hp *HostPartition) mirrorLocalIDs() []graph.NodeID {
 	out := make([]graph.NodeID, len(hp.mirrorGlobals))
 	for i := range out {

@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is the persistent pool of parked worker goroutines behind
+// Host.ParFor. The workers are created once per host and live for the
+// cluster's lifetime; each ParFor round publishes its loop body and bounds,
+// wakes the workers, and waits — no goroutine spawn, feeder goroutine, or
+// channel allocation per call, so steady-state BSP rounds do not allocate
+// on the parallel-for path.
+//
+// Work distribution is a shared atomic cursor: workers claim fixed-size
+// chunks with next.Add until the index space is exhausted, which balances
+// skewed iterations (power-law hubs) exactly like the previous
+// channel-fed design.
+//
+// The pool intentionally uses no mutex: ParFor is on the conflict-free
+// reduce path (fullMap.ReduceSync is annotated //kimbap:conflictfree and
+// kimbapvet proves no lock acquisition is reachable from it), so round
+// entry is guarded by an atomic busy flag instead. A failed claim — a
+// nested or concurrent ParFor on the same host — falls back to serial
+// execution, which is always correct.
+type workerPool struct {
+	threads int
+	wake    []chan struct{}
+	wg      sync.WaitGroup
+	busy    atomic.Bool
+
+	// Per-round state. Written by the round owner before the wake sends
+	// and read by workers after the wake receives, so the channel
+	// operations order them; cleared only after wg.Wait returns.
+	fn       func(tid, i int)
+	n        int64
+	chunk    int64
+	next     atomic.Int64
+	panicked atomic.Pointer[poolPanic]
+}
+
+// poolPanic boxes a worker's recovered panic value for re-raising on the
+// round owner's goroutine.
+type poolPanic struct{ v any }
+
+func newWorkerPool(threads int) *workerPool {
+	p := &workerPool{threads: threads, wake: make([]chan struct{}, threads)}
+	for t := range p.wake {
+		p.wake[t] = make(chan struct{}, 1)
+		go p.worker(t)
+	}
+	return p
+}
+
+func (p *workerPool) worker(tid int) {
+	for range p.wake[tid] {
+		p.runChunks(tid)
+		p.wg.Done()
+	}
+}
+
+func (p *workerPool) runChunks(tid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.Store(&poolPanic{r})
+			// Park the cursor past the end so peers stop claiming work and
+			// the round drains quickly (mirrors the old channel drain).
+			p.next.Store(1 << 62)
+		}
+	}()
+	for {
+		hi := p.next.Add(p.chunk)
+		lo := hi - p.chunk
+		if lo >= p.n {
+			return
+		}
+		if hi > p.n {
+			hi = p.n
+		}
+		for i := lo; i < hi; i++ {
+			p.fn(tid, int(i))
+		}
+	}
+}
+
+// parFor runs one round on the pool. The caller must have claimed the
+// busy flag; chunk must be >= 1.
+func (p *workerPool) parFor(n, chunk int, fn func(tid, i int)) {
+	p.fn = fn
+	p.n = int64(n)
+	p.chunk = int64(chunk)
+	p.next.Store(0)
+	p.panicked.Store(nil)
+	p.wg.Add(p.threads)
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	p.wg.Wait()
+	p.fn = nil
+	if pp := p.panicked.Load(); pp != nil {
+		// Re-raise on the calling goroutine so host-level recovery works.
+		panic(pp.v)
+	}
+}
+
+// close releases the parked workers. Must not be called during a round.
+func (p *workerPool) close() {
+	if !p.busy.CompareAndSwap(false, true) {
+		return // round in flight or already closed; leave workers parked
+	}
+	for _, c := range p.wake {
+		close(c)
+	}
+}

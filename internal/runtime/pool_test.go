@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParForReusedAcrossRounds(t *testing.T) {
+	c := newTestCluster(t, 1)
+	h := c.Hosts()[0]
+	const n = 500
+	var hits [n]atomic.Int32
+	for round := 0; round < 50; round++ {
+		h.ParFor(n, func(tid, i int) { hits[i].Add(1) })
+	}
+	for i := range hits {
+		if hits[i].Load() != 50 {
+			t.Fatalf("index %d visited %d times over 50 rounds", i, hits[i].Load())
+		}
+	}
+}
+
+func TestParForNestedRunsSerially(t *testing.T) {
+	// A ParFor inside a ParFor body cannot re-enter the busy pool; the
+	// inner loop must fall back to serial execution and still cover all
+	// indices.
+	c := newTestCluster(t, 1)
+	h := c.Hosts()[0]
+	var outer, inner atomic.Int32
+	h.ParFor(8, func(tid, i int) {
+		outer.Add(1)
+		h.ParFor(16, func(_, j int) { inner.Add(1) })
+	})
+	if outer.Load() != 8 || inner.Load() != 8*16 {
+		t.Fatalf("nested ParFor covered %d outer / %d inner, want 8 / 128", outer.Load(), inner.Load())
+	}
+}
+
+func TestParForPanicPropagatesAndPoolSurvives(t *testing.T) {
+	c := newTestCluster(t, 1)
+	h := c.Hosts()[0]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected worker panic to propagate to the caller")
+			}
+		}()
+		h.ParFor(1000, func(tid, i int) {
+			if i == 137 {
+				panic("kaboom")
+			}
+		})
+	}()
+	// The pool must be reusable after a panicking round.
+	var hits atomic.Int32
+	h.ParFor(100, func(tid, i int) { hits.Add(1) })
+	if hits.Load() != 100 {
+		t.Fatalf("pool broken after panic: covered %d of 100", hits.Load())
+	}
+}
+
+func TestParForSteadyStateAllocs(t *testing.T) {
+	// The persistent pool replaces per-call goroutines, the feeder, and
+	// the work channel; a warm ParFor may allocate at most the closure.
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budget only holds unraced")
+	}
+	c := newTestCluster(t, 1)
+	h := c.Hosts()[0]
+	var sink atomic.Int64
+	fn := func(tid, i int) { sink.Add(1) }
+	h.ParFor(4096, fn) // warm up
+	if got := testing.AllocsPerRun(20, func() { h.ParFor(4096, fn) }); got > 2 {
+		t.Errorf("warm ParFor allocates %.1f objects per call, want <= 2", got)
+	}
+}
+
+func TestParForConcurrentCallsComplete(t *testing.T) {
+	// Concurrent ParFors on one host (only one can hold the pool) must
+	// all complete correctly, the losers serially.
+	c := newTestCluster(t, 1)
+	h := c.Hosts()[0]
+	const goroutines, n = 4, 2000
+	var total atomic.Int64
+	done := make(chan struct{}, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			h.ParFor(n, func(tid, i int) { total.Add(1) })
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if total.Load() != goroutines*n {
+		t.Fatalf("concurrent ParFors covered %d of %d", total.Load(), goroutines*n)
+	}
+}

@@ -68,6 +68,7 @@ type Host struct {
 	Threads int
 	Timers  Timers
 
+	pool   *workerPool
 	mapSeq atomic.Int64
 }
 
@@ -102,6 +103,7 @@ func NewCluster(g *graph.Graph, cfg Config) (*Cluster, error) {
 			HP:      part.Hosts[i],
 			EP:      eps[i],
 			Threads: cfg.ThreadsPerHost,
+			pool:    newWorkerPool(cfg.ThreadsPerHost),
 		})
 	}
 	return c, nil
@@ -136,10 +138,13 @@ func (c *Cluster) Run(prog func(h *Host)) {
 	}
 }
 
-// Close releases transport resources.
+// Close releases transport resources and parks each host's worker pool.
 func (c *Cluster) Close() {
 	for _, h := range c.hosts {
 		h.EP.Close()
+		if h.pool != nil {
+			h.pool.close()
+		}
 	}
 }
 
@@ -203,10 +208,15 @@ func (h *Host) TimeBroadcast(f func()) {
 // ResetTimers zeroes the host's timers.
 func (h *Host) ResetTimers() { h.Timers = Timers{} }
 
-// ParFor runs fn(tid, i) for every i in [0, n) using the host's worker
-// pool. Work is handed out in chunks through an index channel so skewed
-// iterations (power-law hubs) balance across threads. fn must be safe for
-// concurrent invocation with distinct i.
+// ParFor runs fn(tid, i) for every i in [0, n) on the host's persistent
+// worker pool. Work is claimed in chunks off a shared atomic cursor so
+// skewed iterations (power-law hubs) balance across threads; nothing is
+// allocated per call, so BSP rounds that loop over ParFor stay
+// steady-state allocation free. fn must be safe for concurrent invocation
+// with distinct i. Nested or concurrent ParFor calls on one host run the
+// inner loop serially (the pool serves one round at a time).
+//
+//kimbap:conflictfree
 func (h *Host) ParFor(n int, fn func(tid, i int)) {
 	if n == 0 {
 		return
@@ -215,12 +225,13 @@ func (h *Host) ParFor(n int, fn func(tid, i int)) {
 	if threads > n {
 		threads = n
 	}
-	if threads <= 1 {
+	if threads <= 1 || h.pool == nil || !h.pool.busy.CompareAndSwap(false, true) {
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
 		return
 	}
+	defer h.pool.busy.Store(false)
 	// Chunks are sized so each thread sees several, letting skewed
 	// iterations rebalance, but capped to bound scheduling overhead.
 	chunk := n / (threads * 8)
@@ -230,44 +241,7 @@ func (h *Host) ParFor(n int, fn func(tid, i int)) {
 	if chunk > 256 {
 		chunk = 256
 	}
-	type span struct{ lo, hi int }
-	work := make(chan span, n/chunk+1)
-	go func() {
-		for lo := 0; lo < n; lo += chunk {
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			work <- span{lo, hi}
-		}
-		close(work)
-	}()
-	var wg sync.WaitGroup
-	var panicked atomic.Value
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicked.Store(r)
-					// Drain remaining work so peers finish.
-					for range work {
-					}
-				}
-			}()
-			for s := range work {
-				for i := s.lo; i < s.hi; i++ {
-					fn(tid, i)
-				}
-			}
-		}(t)
-	}
-	wg.Wait()
-	if r := panicked.Load(); r != nil {
-		// Re-raise on the calling goroutine so host-level recovery works.
-		panic(r)
-	}
+	h.pool.parFor(n, chunk, fn)
 }
 
 // ParForNodes runs fn over all local proxies (masters and mirrors).
