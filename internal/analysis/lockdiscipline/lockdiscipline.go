@@ -422,7 +422,8 @@ func (fa *funcAnalysis) isCommCall(sel *ast.SelectorExpr) bool {
 		return false
 	}
 	switch fn.Name() {
-	case "Exchange", "Barrier", "Send", "Recv":
+	case "Exchange", "ExchangeInto", "ExchangeFunc", "Barrier",
+		"Send", "SendBuffered", "FlushSends", "Recv":
 		return true
 	}
 	return strings.HasPrefix(fn.Name(), "AllReduce")

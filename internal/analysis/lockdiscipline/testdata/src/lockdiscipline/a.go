@@ -88,6 +88,21 @@ func barrierWhileLocked(sh *shard, ep comm.Endpoint) {
 	sh.mu.Unlock()
 }
 
+// The overlap-era entry points block like Exchange does: ExchangeFunc
+// receives from every peer, and a buffered send can flush to a full socket.
+func exchangeFuncWhileLocked(sh *shard, ep comm.Endpoint) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	comm.ExchangeFunc(ep, comm.TagApp, nil, nil) // want `comm.ExchangeFunc call while holding sh.mu`
+}
+
+func sendBufferedWhileLocked(sh *shard, bs comm.BufferedSender) {
+	sh.mu.Lock()
+	bs.SendBuffered(1, comm.TagApp, nil) // want `comm.SendBuffered call while holding sh.mu`
+	bs.FlushSends() // want `comm.FlushSends call while holding sh.mu`
+	sh.mu.Unlock()
+}
+
 // Codec helpers never block: no diagnostic.
 func codecWhileLocked(sh *shard, buf []byte) []byte {
 	sh.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kimbap/internal/algorithms"
+	"kimbap/internal/comm"
 	"kimbap/internal/gen"
 	"kimbap/internal/graph"
 	"kimbap/internal/npm"
@@ -33,6 +34,10 @@ type PerfRecord struct {
 	CommBytes    int64   `json:"comm_bytes"`    // per op, cluster-wide
 	Conflicts    int64   `json:"conflicts"`     // over the whole measured window
 	AllocsPerOp  float64 `json:"allocs_per_op"` // cluster-wide (process mallocs)
+	// Per-tag breakdown of the comm columns (same units), keyed by
+	// comm.Tag name. Tags with no traffic are omitted.
+	CommTagMessages map[string]int64 `json:"comm_tag_messages,omitempty"`
+	CommTagBytes    map[string]int64 `json:"comm_tag_bytes,omitempty"`
 	// PrevNsPerOp is the wall time recorded in the JSON file this run
 	// replaced, if that file had a matching record — the before half of
 	// the before/after comparison.
@@ -91,7 +96,46 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 			r.Conflicts, r.AllocsPerOp, r.PrevNsPerOp, delta)
 	}
 	t.Fprint(w)
+
+	bt := NewTable("Comm breakdown by tag (per op, cluster-wide)",
+		"name", "hosts", "tag", "msgs", "bytes")
+	for _, r := range records {
+		for _, tag := range tagNames(r.CommTagMessages) {
+			bt.Row(r.Name, r.Hosts, tag, r.CommTagMessages[tag], r.CommTagBytes[tag])
+		}
+	}
+	bt.Fprint(w)
 	return nil
+}
+
+// tagNames returns the breakdown keys in comm.Tag order.
+func tagNames(m map[string]int64) []string {
+	var out []string
+	for t := 0; t < comm.NumTags; t++ {
+		if name := comm.Tag(t).String(); m[name] != 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// tagBreakdown converts per-tag counter deltas into name-keyed per-op
+// maps, omitting tags with no traffic.
+func tagBreakdown(m0, m1, b0, b1 []int64, iters int64) (msgs, bytes map[string]int64) {
+	for t := range m1 {
+		dm := (m1[t] - m0[t]) / iters
+		db := (b1[t] - b0[t]) / iters
+		if dm == 0 && db == 0 {
+			continue
+		}
+		if msgs == nil {
+			msgs = map[string]int64{}
+			bytes = map[string]int64{}
+		}
+		msgs[comm.Tag(t).String()] = dm
+		bytes[comm.Tag(t).String()] = db
+	}
+	return msgs, bytes
 }
 
 func readPerfFile(path string) (perfFile, error) {
@@ -172,6 +216,7 @@ func (c Config) syncPerf(name string, variant npm.Variant, hosts int, pin bool) 
 		base := warmup + rep*iters
 		cw := npm.BeginConflictWindow()
 		msgs0, bytes0 := cluster.CommStats()
+		tm0, tb0 := cluster.CommStatsByTag()
 		var ms0, ms1 gort.MemStats
 		gort.ReadMemStats(&ms0)
 		start := time.Now()
@@ -179,12 +224,14 @@ func (c Config) syncPerf(name string, variant npm.Variant, hosts int, pin bool) 
 		wall := time.Since(start)
 		gort.ReadMemStats(&ms1)
 		msgs1, bytes1 := cluster.CommStats()
+		tm1, tb1 := cluster.CommStatsByTag()
 		conflicts := cw.End()
 		if best < 0 || wall < best {
 			best = wall
 			rec.WallNsPerOp = float64(wall.Nanoseconds()) / float64(iters)
 			rec.CommMessages = (msgs1 - msgs0) / int64(iters)
 			rec.CommBytes = (bytes1 - bytes0) / int64(iters)
+			rec.CommTagMessages, rec.CommTagBytes = tagBreakdown(tm0, tm1, tb0, tb1, int64(iters))
 			rec.Conflicts = conflicts
 			rec.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
 		}
@@ -215,6 +262,7 @@ func (c Config) ccPerf(name string, variant npm.Variant, hosts int) PerfRecord {
 		wall := time.Since(start)
 		gort.ReadMemStats(&ms1)
 		msgs, bytes := cluster.CommStats()
+		tm, tb := cluster.CommStatsByTag()
 		conflicts := cw.End()
 		cluster.Close()
 		if best < 0 || wall < best {
@@ -222,6 +270,8 @@ func (c Config) ccPerf(name string, variant npm.Variant, hosts int) PerfRecord {
 			rec.WallNsPerOp = float64(wall.Nanoseconds())
 			rec.CommMessages = msgs
 			rec.CommBytes = bytes
+			rec.CommTagMessages, rec.CommTagBytes = tagBreakdown(
+				make([]int64, len(tm)), tm, make([]int64, len(tb)), tb, 1)
 			rec.Conflicts = conflicts
 			rec.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
 		}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"kimbap/internal/npm"
+)
+
+// The v1 reduce_sync_full/8h/4t comm volume on the fixed perf workload,
+// measured before the delta-varint codec landed. The v2 codec must keep at
+// least a 30% reduction against it.
+const v1ReduceSyncBytes = 58240
+
+// TestReduceSyncCommBytesNoRegression gates the wire codec's win. With
+// Reps=1 the measured window covers a fixed iteration range, and the v2
+// base-relative key encoding makes payload sizes independent of cell
+// insertion order, so this run's comm_bytes is fully deterministic. The
+// committed BENCH_kimbap.json value comes from `make bench` (Reps=3, best
+// wall rep kept, and rep windows cover different iteration ranges), so the
+// comparison against it allows 0.5% cross-window drift — far below any
+// real codec regression.
+func TestReduceSyncCommBytesNoRegression(t *testing.T) {
+	committed := int64(-1)
+	if f, err := readPerfFile("../../BENCH_kimbap.json"); err == nil {
+		for _, r := range f.Records {
+			if r.Name == "reduce_sync_full" && r.Hosts == 8 && r.Threads == 4 {
+				committed = r.CommBytes
+			}
+		}
+	}
+	cfg := Config{Scale: Full, Threads: 4, Reps: 1}
+	rec := cfg.syncPerf("reduce_sync_full", npm.Full, 8, false)
+	if limit := int64(v1ReduceSyncBytes * 7 / 10); rec.CommBytes > limit {
+		t.Errorf("comm_bytes = %d/op, above the 30%%-under-v1 ceiling %d (v1 = %d)",
+			rec.CommBytes, limit, int64(v1ReduceSyncBytes))
+	}
+	if committed < 0 {
+		t.Log("no committed BENCH_kimbap.json record; only the v1 ceiling was checked")
+	} else if slack := committed + committed/200; rec.CommBytes > slack {
+		t.Errorf("comm_bytes = %d/op, regressed past the committed %d (+0.5%% = %d)",
+			rec.CommBytes, committed, slack)
+	}
+}

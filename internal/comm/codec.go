@@ -39,3 +39,50 @@ func ReadFloat64(b []byte) (float64, []byte) {
 	u, rest := ReadUint64(b)
 	return math.Float64frombits(u), rest
 }
+
+// AppendUvarint appends v in LEB128 variable-length encoding (the v2 wire
+// format's key representation: section-relative key deltas are small, so
+// most keys take one byte instead of four). The single-byte case is inlined
+// — it dominates every delta stream the npm sync phases produce.
+func AppendUvarint(b []byte, v uint64) []byte {
+	if v < 0x80 {
+		return append(b, byte(v))
+	}
+	return binary.AppendUvarint(b, v)
+}
+
+// ReadUvarint reads a LEB128 varint and returns the remaining bytes. Like
+// the fixed-width readers it assumes well-formed input (internal traffic);
+// a truncated or overlong varint panics. Untrusted bytes go through
+// ReadUvarintChecked.
+func ReadUvarint(b []byte) (uint64, []byte) {
+	if len(b) > 0 && b[0] < 0x80 {
+		return uint64(b[0]), b[1:]
+	}
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		panic("comm: malformed uvarint")
+	}
+	return v, b[n:]
+}
+
+// ReadUvarintChecked reads a LEB128 varint, reporting malformed input
+// instead of panicking — the decoder fuzz targets and payload validators
+// use it to walk arbitrary bytes safely.
+func ReadUvarintChecked(b []byte) (v uint64, rest []byte, ok bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}
+
+// UvarintLen returns the encoded size of v in bytes.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,195 @@
+package comm
+
+import "math/bits"
+
+// Log-depth collectives. The original Barrier/AllReduce* were all-to-all
+// exchanges: every host sent to every other, H·(H−1) messages per
+// collective. At 8 hosts that is 56 messages to agree on one byte. Both
+// are now O(H·log H):
+//
+//   - Barrier is a dissemination barrier: ⌈log₂H⌉ rounds, in round k each
+//     host sends an empty message to (rank+2^k) mod H and waits for one
+//     from (rank−2^k) mod H. After the last round every host transitively
+//     heard from every other, so no host can leave before all arrived.
+//   - AllReduce* is recursive doubling over the largest power-of-two
+//     subset: ⌈log₂H⌉ pairwise exchange rounds, with a fold step attaching
+//     the leftover ranks (value in, result out) when H is not a power of
+//     two. Every host ends with the same combination tree, and all the
+//     operators used here (OR, +, min) are commutative, so results are
+//     bit-identical across hosts — the property SPMD quiescence checks
+//     rely on.
+//
+// Collectives allocate nothing in steady state: the tiny payloads live in
+// a per-endpoint scratch ring (see collScratch) rather than per-call
+// buffers. Both properties are pinned by tests (message counts in
+// collective_test.go, allocations in allocs_test.go).
+
+// collScratch holds the per-endpoint send buffers the collectives cycle
+// through. Collectives are issued by the host's SPMD program goroutine, so
+// access is single-threaded by construction (documented on Endpoint: no
+// concurrent Sends to one destination implies no concurrent collectives).
+//
+// Buffers are addressed by (generation, round) and generations alternate
+// per collective call; slot 0 of each generation is the allreduce working
+// accumulator, which is never sent. Reusing bufs[g][k] two collectives
+// later is safe
+// under the package's ownership contract: the round-k partner P is the
+// same in every call (it depends only on rank and H), and our call-c+2
+// send to P happens after our call-c+1 round-k receive from P, which P
+// sent after its own call-c round-k receive — the point where P finished
+// reading the call-c buffer.
+type collScratch struct {
+	gen  int
+	bufs [2][][]byte
+}
+
+// scratcher is implemented by both built-in transports (via embedding).
+// Foreign Endpoint implementations fall back to per-call allocation.
+type scratcher interface {
+	collectiveScratch() *collScratch
+}
+
+func (s *collScratch) collectiveScratch() *collScratch { return s }
+
+// next flips the generation and returns the buffer set for this call.
+func (s *collScratch) next() *[][]byte {
+	s.gen ^= 1
+	return &s.bufs[s.gen]
+}
+
+// buf returns the round-th buffer of the active generation, sized to n.
+func bufFor(bufs *[][]byte, round, n int) []byte {
+	for len(*bufs) <= round {
+		*bufs = append(*bufs, nil)
+	}
+	b := (*bufs)[round]
+	if cap(b) < n {
+		b = make([]byte, n)
+		(*bufs)[round] = b
+	}
+	return b[:n]
+}
+
+// Barrier blocks until every host has entered the barrier: a dissemination
+// barrier of ⌈log₂H⌉ empty-message rounds.
+func Barrier(ep Endpoint) {
+	n := ep.NumHosts()
+	if n == 1 {
+		return
+	}
+	self := ep.Rank()
+	for dist := 1; dist < n; dist <<= 1 {
+		ep.Send((self+dist)%n, TagBarrier, nil)
+		ep.Recv((self-dist+n)%n, TagBarrier)
+	}
+}
+
+// sendScratch sends a copy of b staged in the round-th scratch buffer, so
+// b itself stays free to mutate while the partner still holds the payload.
+func sendScratch(ep Endpoint, bufs *[][]byte, round, to int, b []byte) {
+	buf := bufFor(bufs, round, len(b))
+	copy(buf, b)
+	ep.Send(to, TagApp, buf)
+}
+
+// allReduce runs a recursive-doubling allreduce over fixed-width values.
+// val holds this host's contribution and is updated in place to the global
+// result; combine folds src into dst and must be commutative (so the
+// symmetric pairwise exchanges produce bit-identical results everywhere).
+//
+// The working accumulator lives in scratch slot 0 — only it is passed to
+// the combine callback, so escape analysis keeps the callers' stack value
+// arrays on the stack and steady-state calls allocate nothing. Slots 1+
+// hold the per-round send copies.
+func allReduce(ep Endpoint, val []byte, combine func(dst, src []byte)) {
+	n := ep.NumHosts()
+	if n == 1 {
+		return
+	}
+	var bufs *[][]byte
+	if sc, ok := ep.(scratcher); ok {
+		bufs = sc.collectiveScratch().next()
+	} else {
+		bufs = new([][]byte)
+	}
+	self := ep.Rank()
+	pow := 1 << (bits.Len(uint(n)) - 1) // largest power of two ≤ n
+	extra := n - pow
+	acc := bufFor(bufs, 0, len(val))
+	copy(acc, val)
+	round := 1
+	if self >= pow {
+		// Leftover rank: fold our value into the partner below, then wait
+		// for it to hand back the finished result.
+		sendScratch(ep, bufs, round, self-pow, acc)
+		copy(val, ep.Recv(self-pow, TagApp))
+		return
+	}
+	if self < extra {
+		combine(acc, ep.Recv(self+pow, TagApp))
+	}
+	for mask := 1; mask < pow; mask <<= 1 {
+		partner := self ^ mask
+		sendScratch(ep, bufs, round, partner, acc)
+		round++
+		combine(acc, ep.Recv(partner, TagApp))
+	}
+	if self < extra {
+		sendScratch(ep, bufs, round, self+pow, acc)
+	}
+	copy(val, acc)
+}
+
+// AllReduceBool ORs a boolean across all hosts.
+func AllReduceBool(ep Endpoint, v bool) bool {
+	var val [1]byte
+	if v {
+		val[0] = 1
+	}
+	allReduce(ep, val[:], func(dst, src []byte) { dst[0] |= src[0] })
+	return val[0] != 0
+}
+
+// AllReduceInt64 sums an int64 across all hosts.
+func AllReduceInt64(ep Endpoint, v int64) int64 {
+	var val [8]byte
+	AppendUint64(val[:0], uint64(v))
+	allReduce(ep, val[:], func(dst, src []byte) {
+		d, _ := ReadUint64(dst)
+		s, _ := ReadUint64(src)
+		AppendUint64(dst[:0], d+s)
+	})
+	u, _ := ReadUint64(val[:])
+	return int64(u)
+}
+
+// AllReduceFloat64 sums a float64 across all hosts. The summation tree is
+// the recursive-doubling tree, identical on every host, so all hosts see
+// the same bits (float addition is commutative; only associativity is
+// lost, which changes the result vs a sequential sum by round-off only).
+func AllReduceFloat64(ep Endpoint, v float64) float64 {
+	var val [8]byte
+	AppendFloat64(val[:0], v)
+	allReduce(ep, val[:], func(dst, src []byte) {
+		d, _ := ReadFloat64(dst)
+		s, _ := ReadFloat64(src)
+		AppendFloat64(dst[:0], d+s)
+	})
+	f, _ := ReadFloat64(val[:])
+	return f
+}
+
+// AllReduceMinFloat64 computes the minimum of a float64 across all hosts.
+func AllReduceMinFloat64(ep Endpoint, v float64) float64 {
+	var val [8]byte
+	AppendFloat64(val[:0], v)
+	allReduce(ep, val[:], func(dst, src []byte) {
+		d, _ := ReadFloat64(dst)
+		s, _ := ReadFloat64(src)
+		if s < d {
+			copy(dst, src)
+		}
+	})
+	f, _ := ReadFloat64(val[:])
+	return f
+}

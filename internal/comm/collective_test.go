@@ -1,0 +1,287 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/bits"
+	goruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Correctness of the log-depth collectives across host counts, including
+// the non-power-of-two cases that exercise the recursive-doubling fold
+// step (3, 5, 6) and the degenerate single-host cluster.
+func TestCollectivesAcrossHostCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 8} {
+		t.Run(fmt.Sprintf("%dhosts", n), func(t *testing.T) {
+			eps := NewLocalCluster(n)
+			epsI := make([]Endpoint, n)
+			for i, e := range eps {
+				epsI[i] = e
+			}
+			wantSum := int64(n * (n + 1) / 2)
+			var mu sync.Mutex
+			var fbits []uint64
+			runAll(t, epsI, func(ep Endpoint) {
+				Barrier(ep)
+				if got := AllReduceInt64(ep, int64(ep.Rank()+1)); got != wantSum {
+					t.Errorf("host %d: sum = %d, want %d", ep.Rank(), got, wantSum)
+				}
+				if got := AllReduceBool(ep, ep.Rank() == n-1); !got {
+					t.Errorf("host %d: OR lost the true", ep.Rank())
+				}
+				if got := AllReduceMinFloat64(ep, float64(ep.Rank())+0.5); got != 0.5 {
+					t.Errorf("host %d: min = %v, want 0.5", ep.Rank(), got)
+				}
+				// Irrational addends make the float sum depend on its
+				// combination tree; collect the bits for the identity check.
+				f := AllReduceFloat64(ep, math.Sqrt(float64(ep.Rank()+2)))
+				Barrier(ep)
+				mu.Lock()
+				fbits = append(fbits, math.Float64bits(f))
+				mu.Unlock()
+			})
+			// Recursive doubling gives every host the identical combination
+			// tree, so the float results must agree bit for bit — the
+			// property SPMD quiescence checks rely on.
+			for i := 1; i < len(fbits); i++ {
+				if fbits[i] != fbits[0] {
+					t.Fatalf("float allreduce differs across hosts: %x vs %x",
+						fbits[i], fbits[0])
+				}
+			}
+		})
+	}
+}
+
+// The point of the overhaul: collectives cost O(H·log H) messages, not
+// H·(H−1). At 8 hosts a barrier is 24 messages (was 56).
+func TestCollectiveMessageCounts(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 8} {
+		logUp := bits.Len(uint(n - 1)) // ⌈log₂ n⌉
+		t.Run(fmt.Sprintf("%dhosts", n), func(t *testing.T) {
+			eps := NewLocalCluster(n)
+			epsI := make([]Endpoint, n)
+			for i, e := range eps {
+				epsI[i] = e
+			}
+			runAll(t, epsI, func(ep Endpoint) { Barrier(ep) })
+			total := func() (m int64) {
+				for _, ep := range eps {
+					msgs, _ := ep.Stats()
+					m += msgs
+				}
+				return
+			}
+			barrierMsgs := total()
+			if want := int64(n * logUp); barrierMsgs != want {
+				t.Errorf("barrier used %d messages at %d hosts, want %d",
+					barrierMsgs, n, want)
+			}
+			runAll(t, epsI, func(ep Endpoint) { AllReduceInt64(ep, 1) })
+			// Recursive doubling: log₂pow exchange rounds on the power-of-two
+			// core plus two fold messages per leftover rank.
+			pow := 1 << (bits.Len(uint(n)) - 1)
+			wantAR := int64(pow*bits.Len(uint(pow-1)) + 2*(n-pow))
+			if got := total() - barrierMsgs; got != wantAR {
+				t.Errorf("allreduce used %d messages at %d hosts, want %d",
+					got, n, wantAR)
+			}
+			if old := int64(n * (n - 1)); n > 3 && total()-barrierMsgs >= old {
+				t.Errorf("allreduce no better than all-to-all (%d msgs)", old)
+			}
+		})
+	}
+}
+
+// Steady-state collectives must not allocate: the payloads live in the
+// per-endpoint scratch ring. Host 0 measures while the peers run the
+// identical rounds in lockstep (AllocsPerRun counts process-wide mallocs,
+// so the whole cluster must be in steady state).
+func TestCollectiveAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc budgets only hold without -race")
+	}
+	const n = 4
+	const runs = 50
+	eps := NewLocalCluster(n)
+	epsI := make([]Endpoint, n)
+	for i, e := range eps {
+		epsI[i] = e
+	}
+	round := func(ep Endpoint) {
+		AllReduceInt64(ep, int64(ep.Rank()))
+		AllReduceFloat64(ep, float64(ep.Rank()))
+		AllReduceBool(ep, ep.Rank() == 0)
+		Barrier(ep)
+	}
+	var got float64
+	runAll(t, epsI, func(ep Endpoint) {
+		// Warm both scratch generations before measuring.
+		round(ep)
+		round(ep)
+		if ep.Rank() == 0 {
+			got = testing.AllocsPerRun(runs, func() { round(eps[0]) })
+		} else {
+			// AllocsPerRun executes its argument 1+runs times; stay in
+			// lockstep with the measuring host.
+			for i := 0; i < runs+1; i++ {
+				round(ep)
+			}
+		}
+	})
+	if got > 0 {
+		t.Fatalf("steady-state collective round allocated %.1f times, want 0", got)
+	}
+}
+
+// ExchangeFunc must deliver encode(to)'s payload to host `to` on both
+// transports, with in[self] nil.
+func TestExchangeFunc(t *testing.T) {
+	const n = 4
+	for name, eps := range newClusters(t, n) {
+		t.Run(name, func(t *testing.T) {
+			defer closeAll(eps)
+			var mu sync.Mutex
+			got := map[string]string{}
+			runAll(t, eps, func(ep Endpoint) {
+				encode := func(to int) []byte {
+					return []byte(fmt.Sprintf("%d->%d", ep.Rank(), to))
+				}
+				in := ExchangeFunc(ep, TagApp, encode, nil)
+				if in[ep.Rank()] != nil {
+					t.Errorf("host %d: in[self] = %q, want nil", ep.Rank(), in[ep.Rank()])
+				}
+				mu.Lock()
+				for from, payload := range in {
+					if from != ep.Rank() {
+						got[fmt.Sprintf("%d@%d", from, ep.Rank())] = string(payload)
+					}
+				}
+				mu.Unlock()
+			})
+			for from := 0; from < n; from++ {
+				for to := 0; to < n; to++ {
+					if from == to {
+						continue
+					}
+					want := fmt.Sprintf("%d->%d", from, to)
+					if got[fmt.Sprintf("%d@%d", from, to)] != want {
+						t.Errorf("host %d got %q from %d, want %q",
+							to, got[fmt.Sprintf("%d@%d", from, to)], from, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Frames staged with SendBuffered must arrive, in order, once FlushSends
+// runs.
+func TestSendBufferedFlushDelivery(t *testing.T) {
+	eps, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+	for i := 0; i < 3; i++ {
+		eps[0].SendBuffered(1, TagApp, []byte{byte(i)})
+	}
+	eps[0].FlushSends()
+	for i := 0; i < 3; i++ {
+		if got := eps[1].Recv(0, TagApp); !bytes.Equal(got, []byte{byte(i)}) {
+			t.Fatalf("frame %d = %v", i, got)
+		}
+	}
+}
+
+// TCP byte counts must reflect actual wire bytes: payload plus the 5-byte
+// frame header, attributed to the right tag.
+func TestTCPStatsCountFrameHeader(t *testing.T) {
+	eps, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+	eps[0].Send(1, TagReduce, []byte("12345"))
+	if got := eps[1].Recv(0, TagReduce); string(got) != "12345" {
+		t.Fatalf("payload = %q", got)
+	}
+	msgs, byteCount := eps[0].Stats()
+	want := int64(5 + frameHeader)
+	if msgs != 1 || byteCount != want {
+		t.Fatalf("stats = %d msgs %d bytes, want 1/%d", msgs, byteCount, want)
+	}
+	mt, bt := eps[0].StatsByTag()
+	if len(mt) != NumTags || len(bt) != NumTags {
+		t.Fatalf("per-tag slices have %d/%d entries, want %d", len(mt), len(bt), NumTags)
+	}
+	if mt[TagReduce] != 1 || bt[TagReduce] != want {
+		t.Fatalf("reduce tag = %d msgs %d bytes, want 1/%d",
+			mt[TagReduce], bt[TagReduce], want)
+	}
+	if mt[TagApp] != 0 || bt[TagApp] != 0 {
+		t.Fatalf("app tag charged %d msgs %d bytes for reduce traffic",
+			mt[TagApp], bt[TagApp])
+	}
+}
+
+// Large payloads take the writev path (staging buffer bypass); they must
+// still arrive intact and in order relative to small staged frames.
+func TestTCPWritevPathOrdering(t *testing.T) {
+	eps, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+	big := make([]byte, writevCutoff+100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	eps[0].SendBuffered(1, TagApp, []byte("before"))
+	eps[0].SendBuffered(1, TagApp, big) // flushes "before", writevs itself
+	eps[0].SendBuffered(1, TagApp, []byte("after"))
+	eps[0].FlushSends()
+	if got := eps[1].Recv(0, TagApp); string(got) != "before" {
+		t.Fatalf("first frame = %q", got)
+	}
+	if got := eps[1].Recv(0, TagApp); !bytes.Equal(got, big) {
+		t.Fatalf("big frame corrupted (%d bytes)", len(got))
+	}
+	if got := eps[1].Recv(0, TagApp); string(got) != "after" {
+		t.Fatalf("third frame = %q", got)
+	}
+}
+
+// Closing a cluster must terminate its reader goroutines — the same
+// teardown NewTCPCluster relies on when partial setup fails.
+func TestTCPClusterCloseReleasesGoroutines(t *testing.T) {
+	before := goruntime.NumGoroutine()
+	eps, err := NewTCPCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epsI := make([]Endpoint, len(eps))
+	for i, e := range eps {
+		epsI[i] = e
+	}
+	runAll(t, epsI, func(ep Endpoint) { Barrier(ep) })
+	for _, ep := range eps {
+		ep.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if goruntime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after Close: %d before cluster, %d after",
+		before, goruntime.NumGoroutine())
+}

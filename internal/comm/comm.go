@@ -1,6 +1,6 @@
 // Package comm provides the communication substrate for the simulated
 // cluster: a per-host Endpoint abstraction with tagged message delivery,
-// bulk all-to-all exchange, and barriers.
+// bulk all-to-all exchange, and log-depth collectives.
 //
 // Two transports are provided: an in-memory channel transport (the default
 // for experiments, standing in for the paper's Omni-Path fabric) and a TCP
@@ -9,7 +9,9 @@
 // keep consecutive collective operations from interleaving.
 //
 // Endpoints account for messages and bytes sent so experiments can report
-// communication volume.
+// communication volume, broken down per tag (see StatsByTag). The TCP
+// transport includes its frame header in the byte counts; the in-memory
+// transport has no framing and counts payload bytes only.
 //
 // # Buffer ownership
 //
@@ -53,6 +55,46 @@ const (
 	numTags
 )
 
+// NumTags is the number of distinct message tags (the length of the slices
+// StatsByTag returns).
+const NumTags = int(numTags)
+
+// String names the tag for stats tables.
+func (t Tag) String() string {
+	switch t {
+	case TagBarrier:
+		return "barrier"
+	case TagRequest:
+		return "request"
+	case TagResponse:
+		return "response"
+	case TagReduce:
+		return "reduce"
+	case TagBroadcast:
+		return "broadcast"
+	case TagApp:
+		return "app"
+	}
+	return fmt.Sprintf("tag%d", uint8(t))
+}
+
+// WireFormat selects the payload encoding the npm sync phases put on the
+// wire. It lives here, next to the transports, so the runtime can plumb a
+// cluster-wide choice without importing the property-map package.
+type WireFormat uint8
+
+const (
+	// WireAuto picks the package default (currently WireV2).
+	WireAuto WireFormat = iota
+	// WireV1 is the original raw encoding: fixed-width uint32 keys and
+	// section lengths. Kept as a fallback and differential-testing target.
+	WireV1
+	// WireV2 is the compact encoding: delta-varint keys (relative to the
+	// section's key-range base) and varint section lengths, negotiated
+	// per-payload by a one-byte format tag.
+	WireV2
+)
+
 // Endpoint is one host's connection to the cluster fabric.
 type Endpoint interface {
 	// Rank returns this host's index in [0, NumHosts).
@@ -67,26 +109,59 @@ type Endpoint interface {
 	// `from` and returns its payload. Messages from one sender with one
 	// tag are delivered in send order.
 	Recv(from int, tag Tag) []byte
-	// Stats returns cumulative messages and bytes sent by this endpoint.
+	// Stats returns cumulative messages and bytes sent by this endpoint,
+	// including any transport framing overhead.
 	Stats() (messages, bytes int64)
+	// StatsByTag returns cumulative messages and bytes sent, broken down
+	// by message tag. Both slices have NumTags entries indexed by Tag.
+	StatsByTag() (messages, bytes []int64)
 	// Close releases transport resources.
 	Close() error
 }
 
-// counters is embedded by transports to implement Stats.
-type counters struct {
-	messages atomic.Int64
-	bytes    atomic.Int64
+// BufferedSender is optionally implemented by transports that can stage
+// writes (the TCP transport's per-peer bufio.Writer). SendBuffered has
+// Send's semantics except delivery may be deferred until FlushSends; a
+// caller must flush before blocking on a Recv that the staged sends
+// unblock, or the exchange deadlocks. ExchangeInto uses it to batch each
+// round's frames into one syscall per peer, flushing at the round boundary.
+type BufferedSender interface {
+	SendBuffered(to int, tag Tag, payload []byte)
+	FlushSends()
 }
 
-func (c *counters) account(payload []byte) {
-	c.messages.Add(1)
-	c.bytes.Add(int64(len(payload)))
+// counters is embedded by transports to implement Stats/StatsByTag.
+type counters struct {
+	messages [numTags]atomic.Int64
+	bytes    [numTags]atomic.Int64
+}
+
+// account records one sent message of n on-wire bytes (payload plus any
+// transport framing).
+func (c *counters) account(tag Tag, n int) {
+	c.messages[tag].Add(1)
+	c.bytes[tag].Add(int64(n))
 }
 
 // Stats returns cumulative messages and bytes sent.
 func (c *counters) Stats() (int64, int64) {
-	return c.messages.Load(), c.bytes.Load()
+	var messages, bytes int64
+	for t := range c.messages {
+		messages += c.messages[t].Load()
+		bytes += c.bytes[t].Load()
+	}
+	return messages, bytes
+}
+
+// StatsByTag returns cumulative messages and bytes sent per tag.
+func (c *counters) StatsByTag() (messages, bytes []int64) {
+	messages = make([]int64, numTags)
+	bytes = make([]int64, numTags)
+	for t := range c.messages {
+		messages[t] = c.messages[t].Load()
+		bytes[t] = c.bytes[t].Load()
+	}
+	return messages, bytes
 }
 
 // Exchange performs a bulk all-to-all: out[i] is sent to host i (out[self]
@@ -104,17 +179,29 @@ func Exchange(ep Endpoint, tag Tag, out [][]byte) [][]byte {
 // buffers referenced by out are subject to the package's buffer-ownership
 // contract (see the package comment): callers reusing them across rounds
 // must double-buffer.
+//
+// On transports implementing BufferedSender the sends are staged and
+// flushed once, at the send/receive boundary — one syscall per peer per
+// round instead of one per frame.
 func ExchangeInto(ep Endpoint, tag Tag, out, in [][]byte) [][]byte {
 	n := ep.NumHosts()
 	self := ep.Rank()
 	if len(out) != n {
 		panic(fmt.Sprintf("comm: Exchange out has %d entries for %d hosts", len(out), n))
 	}
+	bs, buffered := ep.(BufferedSender)
 	for i := 0; i < n; i++ {
 		if i == self {
 			continue
 		}
-		ep.Send(i, tag, out[i])
+		if buffered {
+			bs.SendBuffered(i, tag, out[i])
+		} else {
+			ep.Send(i, tag, out[i])
+		}
+	}
+	if buffered {
+		bs.FlushSends()
 	}
 	if len(in) != n {
 		in = make([][]byte, n)
@@ -129,88 +216,32 @@ func ExchangeInto(ep Endpoint, tag Tag, out, in [][]byte) [][]byte {
 	return in
 }
 
-// Barrier blocks until every host has entered the barrier. It is an
-// all-to-all exchange of empty messages.
-func Barrier(ep Endpoint) {
-	out := make([][]byte, ep.NumHosts())
-	Exchange(ep, TagBarrier, out)
-}
-
-// AllReduceBool ORs a boolean across all hosts.
-func AllReduceBool(ep Endpoint, v bool) bool {
-	payload := []byte{0}
-	if v {
-		payload[0] = 1
+// ExchangeFunc is the compute/communication-overlap variant of
+// ExchangeInto: instead of taking pre-assembled payloads, it calls
+// encode(to) once per peer and sends each payload the moment it is
+// produced, so peer `to`'s bytes are in flight while `to+1`'s are still
+// being encoded. encode is never called for self; in[self] is set to nil.
+//
+// Destinations are walked in rank-rotated order (self+1, self+2, …
+// wrapping) so the cluster's first sends fan out across distinct receivers
+// instead of all landing on host 0; receives walk the opposite rotation,
+// which matches the order peers complete their sends to us. Payloads
+// returned by encode follow the same buffer-ownership contract as
+// ExchangeInto.
+func ExchangeFunc(ep Endpoint, tag Tag, encode func(to int) []byte, in [][]byte) [][]byte {
+	n := ep.NumHosts()
+	self := ep.Rank()
+	for i := 1; i < n; i++ {
+		to := (self + i) % n
+		ep.Send(to, tag, encode(to))
 	}
-	out := make([][]byte, ep.NumHosts())
-	for i := range out {
-		out[i] = payload
+	if len(in) != n {
+		in = make([][]byte, n)
 	}
-	in := Exchange(ep, TagApp, out)
-	for _, p := range in {
-		if len(p) > 0 && p[0] == 1 {
-			return true
-		}
+	in[self] = nil
+	for i := 1; i < n; i++ {
+		from := (self - i + n) % n
+		in[from] = ep.Recv(from, tag)
 	}
-	return false
-}
-
-// AllReduceInt64 sums an int64 across all hosts.
-func AllReduceInt64(ep Endpoint, v int64) int64 {
-	payload := AppendUint64(nil, uint64(v))
-	out := make([][]byte, ep.NumHosts())
-	for i := range out {
-		out[i] = payload
-	}
-	in := Exchange(ep, TagApp, out)
-	var sum int64
-	for i, p := range in {
-		if i == ep.Rank() {
-			sum += v
-			continue
-		}
-		u, _ := ReadUint64(p)
-		sum += int64(u)
-	}
-	return sum
-}
-
-// AllReduceFloat64 sums a float64 across all hosts.
-func AllReduceFloat64(ep Endpoint, v float64) float64 {
-	payload := AppendFloat64(nil, v)
-	out := make([][]byte, ep.NumHosts())
-	for i := range out {
-		out[i] = payload
-	}
-	in := Exchange(ep, TagApp, out)
-	sum := 0.0
-	for i, p := range in {
-		if i == ep.Rank() {
-			sum += v
-			continue
-		}
-		f, _ := ReadFloat64(p)
-		sum += f
-	}
-	return sum
-}
-
-// AllReduceMinFloat64 computes the minimum of a float64 across all hosts.
-func AllReduceMinFloat64(ep Endpoint, v float64) float64 {
-	payload := AppendFloat64(nil, v)
-	out := make([][]byte, ep.NumHosts())
-	for i := range out {
-		out[i] = payload
-	}
-	in := Exchange(ep, TagApp, out)
-	min := v
-	for i, p := range in {
-		if i == ep.Rank() {
-			continue
-		}
-		if f, _ := ReadFloat64(p); f < min {
-			min = f
-		}
-	}
-	return min
+	return in
 }

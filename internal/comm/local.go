@@ -17,6 +17,7 @@ const localChanCap = 1024
 // LocalEndpoint is an Endpoint of the in-memory transport.
 type LocalEndpoint struct {
 	counters
+	collScratch
 	fabric *localFabric
 	rank   int
 }
@@ -57,7 +58,7 @@ func (e *LocalEndpoint) Send(to int, tag Tag, payload []byte) {
 	if to == e.rank {
 		panic(fmt.Sprintf("comm: host %d sending to itself", to))
 	}
-	e.account(payload)
+	e.account(tag, len(payload))
 	e.fabric.ch[e.rank][to][tag] <- payload
 }
 

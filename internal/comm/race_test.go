@@ -1,0 +1,7 @@
+//go:build race
+
+package comm
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates and breaks alloc budgets.
+const raceEnabled = true

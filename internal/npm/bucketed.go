@@ -30,6 +30,13 @@ func rangeBucket(k graph.NodeID, buckets, n uint64) int {
 	return int(((uint64(k)+1)*buckets - 1) / n)
 }
 
+// sectionLo returns where range bucket t starts over [0, n):
+// lo(t) = t*n/buckets, the split rangeBucket inverts. The v2 wire format
+// encodes each section's keys as varint deltas from this base.
+func sectionLo(t int, buckets, n uint64) uint64 {
+	return uint64(t) * n / buckets
+}
+
 // Reduce merges v into k's entry in k's range bucket.
 //
 //kimbap:conflictfree

@@ -33,6 +33,7 @@ type fullMap[V comparable] struct {
 	hp    *partition.HostPartition
 	op    ReduceOp[V]
 	codec Codec[V]
+	wire  comm.WireFormat // payload encoding (see wire.go)
 
 	masterLo graph.NodeID
 	masterHi graph.NodeID
@@ -59,10 +60,25 @@ type fullMap[V comparable] struct {
 	sendGen   int
 	bcastBufs [2][][]byte // per-dest broadcast payloads, double-buffered
 	bcastGen  int
-	recvIn    [][]byte // receive slice for ExchangeInto (one round at a time)
+	recvIn    [][]byte // receive slice for the exchanges (one round at a time)
+
+	// Encode state for the overlapped scatter (comm.ExchangeFunc): the
+	// closures are bound once at construction so hot rounds allocate
+	// nothing; the *Out fields point them at the current round's
+	// double-buffer generation.
+	encodeReduce func(to int) []byte
+	encodeBcast  func(to int) []byte
+	reduceOut    [][]byte
+	bcastOut     [][]byte
+	bcastFull    bool
 
 	destLo []graph.NodeID // per-host global master-range start
 	destN  []uint64       // per-host master count
+	// secBase[o][rt] = sectionLo(rt, threads, destN[o]), the v2 key base of
+	// host o's gather-thread-rt section. Precomputed because the combine
+	// pass needs it per surviving entry and sectionLo costs a 64-bit
+	// divide.
+	secBase [][]uint64
 
 	updated       atomic.Bool
 	updatedGlobal bool
@@ -88,6 +104,9 @@ func newFullMap[V comparable](opts Options[V]) *fullMap[V] {
 		tl:          make([]*bucketedMap[V], h.Threads),
 		combined:    make([]*localMap[V], h.Threads),
 	}
+	m.wire = resolveWire(opts.Wire, h.Wire)
+	m.encodeReduce = m.reducePayload
+	m.encodeBcast = m.bcastPayload
 	m.trackReads = opts.TrackReads
 	numGlobal := h.HP.NumGlobalNodes()
 	for t := range m.tl {
@@ -109,10 +128,15 @@ func newFullMap[V comparable](opts Options[V]) *fullMap[V] {
 	m.recvIn = make([][]byte, numHosts)
 	m.destLo = make([]graph.NodeID, numHosts)
 	m.destN = make([]uint64, numHosts)
+	m.secBase = make([][]uint64, numHosts)
 	for o := 0; o < numHosts; o++ {
 		olo, ohi := h.HP.MasterRangeOf(o)
 		m.destLo[o] = olo
 		m.destN[o] = uint64(ohi - olo)
+		m.secBase[o] = make([]uint64, h.Threads)
+		for rt := range m.secBase[o] {
+			m.secBase[o][rt] = sectionLo(rt, uint64(h.Threads), m.destN[o])
+		}
 	}
 	return m
 }
@@ -198,17 +222,14 @@ func (m *fullMap[V]) RequestSync() {
 		})
 		m.reqBits.Clear()
 
-		// One request message per peer: the raw ID list.
+		// One request message per peer: the ID list, tagged and (under v2)
+		// delta-varint encoded — the lists are sorted, so deltas are small.
 		out := make([][]byte, numHosts)
 		for o, ids := range reqIDs {
-			if o == self {
+			if o == self || len(ids) == 0 {
 				continue
 			}
-			buf := make([]byte, 0, 4*len(ids))
-			for _, id := range ids {
-				buf = comm.AppendUint32(buf, uint32(id))
-			}
-			out[o] = buf
+			out[o] = appendIDList(make([]byte, 0, 1+4*len(ids)), m.wire, ids)
 		}
 		in := comm.Exchange(m.h.EP, comm.TagRequest, out)
 
@@ -219,12 +240,10 @@ func (m *fullMap[V]) RequestSync() {
 			if o == self {
 				continue
 			}
-			req := in[o]
-			buf := make([]byte, 0, len(req)/4*m.codec.Size())
-			for len(req) > 0 {
-				var id uint32
-				id, req = comm.ReadUint32(req)
-				buf = m.codec.Append(buf, m.masters[graph.NodeID(id)-m.masterLo])
+			buf := make([]byte, 0, len(in[o])/4*m.codec.Size())
+			dec := decodeIDList(in[o])
+			for id, ok := dec.next(); ok; id, ok = dec.next() {
+				buf = m.codec.Append(buf, m.masters[id-m.masterLo])
 			}
 			resp[o] = buf
 		}
@@ -333,14 +352,24 @@ func (m *fullMap[V]) ReduceSync() {
 					cells[o][rt] = cells[o][rt][:0]
 				}
 			}
+			wireV2 := m.wire == comm.WireV2
+			destLo, destN, secBase := m.destLo, m.destN, m.secBase
 			out.ForEach(func(k graph.NodeID, v V) {
 				o := m.hp.Owner(k)
 				if o == self {
 					m.applyToMaster(k, v)
 					return
 				}
-				rt := rangeBucket(k-m.destLo[o], uint64(threads), m.destN[o])
-				buf := comm.AppendUint32(cells[o][rt], uint32(k))
+				rel := uint64(k - destLo[o])
+				rt := rangeBucket(graph.NodeID(rel), uint64(threads), destN[o])
+				var buf []byte
+				if wireV2 {
+					// v2: key relative to the section's range base — one
+					// byte for typical per-host master ranges.
+					buf = comm.AppendUvarint(cells[o][rt], rel-secBase[o][rt])
+				} else {
+					buf = comm.AppendUint32(cells[o][rt], uint32(k))
+				}
 				cells[o][rt] = m.codec.Append(buf, v)
 			})
 		})
@@ -348,62 +377,46 @@ func (m *fullMap[V]) ReduceSync() {
 			t.Reset()
 		}
 
-		// Scatter: one message per host pair. The payload is framed as
-		// `threads` uint32 section byte-lengths followed by the sections in
-		// the receiver's gather-thread order (each section concatenates the
-		// combine threads' cells for that gather thread). Send buffers are
-		// double-buffered per the comm buffer-ownership contract.
-		out := m.sendBufs[m.sendGen]
+		// Scatter: one message per host pair, with compute/comm overlap —
+		// ExchangeFunc assembles destination o's payload and hands it to
+		// Send before destination o+1's encode starts, so each frame is in
+		// flight while the next is still being built. The payload framing
+		// (tag, section lengths, sections in the receiver's gather-thread
+		// order) lives in reducePayload; send buffers are double-buffered
+		// per the comm buffer-ownership contract.
+		m.reduceOut = m.sendBufs[m.sendGen]
 		m.sendGen ^= 1
-		for o := 0; o < numHosts; o++ {
-			if o == self {
-				continue
-			}
-			buf := out[o][:0]
-			total := 0
-			for rt := 0; rt < threads; rt++ {
-				sec := 0
-				for t := 0; t < threads; t++ {
-					sec += len(m.cells[t][o][rt])
-				}
-				buf = comm.AppendUint32(buf, uint32(sec))
-				total += sec
-			}
-			if total == 0 {
-				out[o] = buf[:0] // nothing to send: elide the header too
-				continue
-			}
-			for rt := 0; rt < threads; rt++ {
-				for t := 0; t < threads; t++ {
-					buf = append(buf, m.cells[t][o][rt]...)
-				}
-			}
-			out[o] = buf
-		}
-		in := comm.ExchangeInto(m.h.EP, comm.TagReduce, out, m.recvIn)
+		in := comm.ExchangeFunc(m.h.EP, comm.TagReduce, m.encodeReduce, m.recvIn)
 
 		// Gather-reduce: gather thread t decodes exactly the sections the
 		// senders addressed to its master range — each received byte is
-		// decoded once, by one thread, with no range filtering.
+		// decoded once, by one thread, with no range filtering. The format
+		// tag on each payload says how its keys decode, so v1 and v2
+		// senders can coexist in one cluster.
 		m.h.ParFor(threads, func(_, t int) {
+			base := m.masterLo + graph.NodeID(
+				sectionLo(t, uint64(threads), uint64(m.masterHi-m.masterLo)))
 			for o := 0; o < numHosts; o++ {
 				if o == self || len(in[o]) == 0 {
 					continue
 				}
-				payload := in[o]
-				off := 4 * threads
-				for rt := 0; rt < t; rt++ {
-					u, _ := comm.ReadUint32(payload[4*rt:])
-					off += int(u)
-				}
-				secLen, _ := comm.ReadUint32(payload[4*t:])
-				sec := payload[off : off+int(secLen)]
-				for len(sec) > 0 {
-					var id uint32
-					id, sec = comm.ReadUint32(sec)
-					var v V
-					v, sec = m.codec.Read(sec)
-					m.applyToMaster(graph.NodeID(id), v)
+				sec, v2 := reduceSection(in[o], t, threads)
+				if v2 {
+					for len(sec) > 0 {
+						var d uint64
+						d, sec = comm.ReadUvarint(sec)
+						var v V
+						v, sec = m.codec.Read(sec)
+						m.applyToMaster(base+graph.NodeID(d), v)
+					}
+				} else {
+					for len(sec) > 0 {
+						var id uint32
+						id, sec = comm.ReadUint32(sec)
+						var v V
+						v, sec = m.codec.Read(sec)
+						m.applyToMaster(graph.NodeID(id), v)
+					}
 				}
 			}
 		})
@@ -412,6 +425,55 @@ func (m *fullMap[V]) ReduceSync() {
 		m.cacheKeys = nil
 		m.cacheVals = nil
 	})
+}
+
+// reducePayload assembles the reduce payload for destination o from the
+// combine threads' cells: a 1-byte wire tag, `threads` section byte-lengths
+// (uint32 in v1, uvarint in v2), then the sections in the receiver's
+// gather-thread order (each section concatenates the combine threads' cells
+// for that gather thread). A round with nothing for o returns an empty
+// payload, eliding tag and header. Called by ExchangeFunc once per
+// destination, immediately before that destination's Send.
+func (m *fullMap[V]) reducePayload(o int) []byte {
+	threads := m.h.Threads
+	out := m.reduceOut
+	buf := out[o][:0]
+	total := 0
+	for rt := 0; rt < threads; rt++ {
+		for t := 0; t < threads; t++ {
+			total += len(m.cells[t][o][rt])
+		}
+	}
+	if total == 0 {
+		out[o] = buf
+		return buf
+	}
+	if m.wire == comm.WireV2 {
+		buf = append(buf, wireV2)
+		for rt := 0; rt < threads; rt++ {
+			sec := 0
+			for t := 0; t < threads; t++ {
+				sec += len(m.cells[t][o][rt])
+			}
+			buf = comm.AppendUvarint(buf, uint64(sec))
+		}
+	} else {
+		buf = append(buf, wireV1)
+		for rt := 0; rt < threads; rt++ {
+			sec := 0
+			for t := 0; t < threads; t++ {
+				sec += len(m.cells[t][o][rt])
+			}
+			buf = comm.AppendUint32(buf, uint32(sec))
+		}
+	}
+	for rt := 0; rt < threads; rt++ {
+		for t := 0; t < threads; t++ {
+			buf = append(buf, m.cells[t][o][rt]...)
+		}
+	}
+	out[o] = buf
+	return buf
 }
 
 // applyToMaster merges v into the canonical master value, tracking change
@@ -444,31 +506,16 @@ func (m *fullMap[V]) broadcast(full bool) {
 		numHosts := m.hp.NumHosts()
 		self := m.h.Rank
 
-		// Payload = dirty bitmask over MasterSendTo[o], then the changed
-		// values in list order. Buffers are double-buffered per the comm
+		// Overlapped scatter, like ReduceSync: destination o's payload goes
+		// on the wire while o+1's is still being assembled. Every
+		// destination's encode consults the dirty set, so it is cleared
+		// only after the exchange. Buffers are double-buffered per the comm
 		// buffer-ownership contract.
-		out := m.bcastBufs[m.bcastGen]
+		m.bcastOut = m.bcastBufs[m.bcastGen]
 		m.bcastGen ^= 1
-		for o := 0; o < numHosts; o++ {
-			if o == self {
-				continue
-			}
-			list := m.hp.MasterSendTo[o]
-			maskLen := (len(list) + 7) / 8
-			buf := out[o][:0]
-			for i := 0; i < maskLen; i++ {
-				buf = append(buf, 0)
-			}
-			for i, local := range list {
-				if full || m.masterDirty.Test(int(local)) {
-					buf[i/8] |= 1 << (uint(i) % 8)
-					buf = m.codec.Append(buf, m.masters[local])
-				}
-			}
-			out[o] = buf
-		}
+		m.bcastFull = full
+		in := comm.ExchangeFunc(m.h.EP, comm.TagBroadcast, m.encodeBcast, m.recvIn)
 		m.masterDirty.Clear()
-		in := comm.ExchangeInto(m.h.EP, comm.TagBroadcast, out, m.recvIn)
 
 		for o := 0; o < numHosts; o++ {
 			if o == self {
@@ -488,6 +535,29 @@ func (m *fullMap[V]) broadcast(full bool) {
 			}
 		}
 	})
+}
+
+// bcastPayload assembles the broadcast payload for destination o: a dirty
+// bitmask over MasterSendTo[o], then the changed values in list order. The
+// format is positional (the mask already says exactly which values follow),
+// so it gains nothing from key compression and is the same in v1 and v2.
+// Called by ExchangeFunc once per destination.
+func (m *fullMap[V]) bcastPayload(o int) []byte {
+	list := m.hp.MasterSendTo[o]
+	maskLen := (len(list) + 7) / 8
+	out := m.bcastOut
+	buf := out[o][:0]
+	for i := 0; i < maskLen; i++ {
+		buf = append(buf, 0)
+	}
+	for i, local := range list {
+		if m.bcastFull || m.masterDirty.Test(int(local)) {
+			buf[i/8] |= 1 << (uint(i) % 8)
+			buf = m.codec.Append(buf, m.masters[local])
+		}
+	}
+	out[o] = buf
+	return buf
 }
 
 // PinMirrors implements Map: materialize mirrors and fill them with a full

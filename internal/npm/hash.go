@@ -26,6 +26,7 @@ type hashMap[V comparable] struct {
 	hp     *partition.HostPartition
 	op     ReduceOp[V]
 	codec  Codec[V]
+	wire   comm.WireFormat // payload encoding (see wire.go)
 	shared bool
 
 	owned *shardedMap[V] // canonical values for hash-owned nodes
@@ -52,8 +53,20 @@ type hashMap[V comparable] struct {
 	reqBufs     [2][][]byte // fetch request payloads
 	respBufs    [2][][]byte // fetch response payloads
 	fetchGen    int
-	recvIn      [][]byte         // receive slice for ExchangeInto
+	recvIn      [][]byte         // receive slice for the exchanges
 	byOwner     [][]graph.NodeID // fetch scratch: requested IDs per owner
+	// secBase[rt] = sectionLo(rt, threads, numGlobal), the v2 key base of
+	// global range bucket rt. Precomputed because the encode passes need it
+	// per surviving entry and sectionLo costs a 64-bit divide.
+	secBase []uint64
+
+	// Encode state for the overlapped scatter (comm.ExchangeFunc), bound
+	// once at construction so hot rounds allocate nothing; the *Out fields
+	// select the current double-buffer generation.
+	encodeReduce   func(to int) []byte
+	encodeFetchReq func(to int) []byte
+	reduceOut      [][]byte
+	fetchReqOut    [][]byte
 
 	pendingMu   sync.Mutex
 	pendingSets []setEntry[V]
@@ -83,9 +96,16 @@ func newHashMapVariant[V comparable](opts Options[V], shared bool, partialShards
 		reqBits: runtime.NewBitset(h.HP.NumGlobalNodes()),
 		cache:   newLocalMap[V](),
 	}
+	m.wire = resolveWire(opts.Wire, h.Wire)
+	m.encodeReduce = m.reducePayload
+	m.encodeFetchReq = m.fetchReqPayload
 	m.trackReads = opts.TrackReads
 	numHosts := h.HP.NumHosts()
 	numGlobal := h.HP.NumGlobalNodes()
+	m.secBase = make([]uint64, h.Threads)
+	for rt := range m.secBase {
+		m.secBase[rt] = sectionLo(rt, uint64(h.Threads), uint64(numGlobal))
+	}
 	if shared {
 		m.sharedPartial = newShardedMapN[V](partialShards)
 		m.sharedCells = make([][][]byte, numHosts)
@@ -249,30 +269,20 @@ func (m *hashMap[V]) fetch(ids []graph.NodeID) {
 	}
 	gen := m.fetchGen
 	m.fetchGen ^= 1
-	out := m.reqBufs[gen]
-	for o, list := range byOwner {
-		if o == self {
-			continue
-		}
-		buf := out[o][:0]
-		for _, id := range list {
-			buf = comm.AppendUint32(buf, uint32(id))
-		}
-		out[o] = buf
-	}
-	in := comm.ExchangeInto(m.h.EP, comm.TagRequest, out, m.recvIn)
+	// Overlapped request scatter: destination o's (delta-varint under v2)
+	// ID list goes on the wire while o+1's is still being encoded.
+	m.fetchReqOut = m.reqBufs[gen]
+	in := comm.ExchangeFunc(m.h.EP, comm.TagRequest, m.encodeFetchReq, m.recvIn)
 
 	resp := m.respBufs[gen]
 	for o := 0; o < numHosts; o++ {
 		if o == self {
 			continue
 		}
-		req := in[o]
 		buf := resp[o][:0]
-		for len(req) > 0 {
-			var id uint32
-			id, req = comm.ReadUint32(req)
-			v, ok := m.owned.Get(graph.NodeID(id))
+		dec := decodeIDList(in[o])
+		for id, ok := dec.next(); ok; id, ok = dec.next() {
+			v, ok := m.owned.Get(id)
 			if !ok {
 				panic(fmt.Sprintf("npm: host %d asked for uninitialized node %d", self, id))
 			}
@@ -319,6 +329,8 @@ func (m *hashMap[V]) ReduceSync() {
 					m.sharedCells[o][rt] = m.sharedCells[o][rt][:0]
 				}
 			}
+			wireV2 := m.wire == comm.WireV2
+			secBase := m.secBase
 			m.sharedPartial.ForEach(func(k graph.NodeID, v V) {
 				o := m.hashOwner(k)
 				if o == self {
@@ -326,7 +338,13 @@ func (m *hashMap[V]) ReduceSync() {
 					return
 				}
 				rt := rangeBucket(k, uint64(threads), numGlobal)
-				buf := comm.AppendUint32(m.sharedCells[o][rt], uint32(k))
+				var buf []byte
+				if wireV2 {
+					buf = comm.AppendUvarint(m.sharedCells[o][rt],
+						uint64(k)-secBase[rt])
+				} else {
+					buf = comm.AppendUint32(m.sharedCells[o][rt], uint32(k))
+				}
 				m.sharedCells[o][rt] = m.codec.Append(buf, v)
 			})
 			m.sharedPartial.Reset()
@@ -347,13 +365,22 @@ func (m *hashMap[V]) ReduceSync() {
 				for o := range cells {
 					cells[o] = cells[o][:0]
 				}
+				wireV2 := m.wire == comm.WireV2
+				base := m.secBase[t]
 				cm.ForEach(func(k graph.NodeID, v V) {
 					o := m.hashOwner(k)
 					if o == self {
 						m.applyToOwned(k, v)
 						return
 					}
-					buf := comm.AppendUint32(cells[o], uint32(k))
+					var buf []byte
+					if wireV2 {
+						// Thread t's surviving entries are exactly global
+						// range bucket t: section t of every payload.
+						buf = comm.AppendUvarint(cells[o], uint64(k)-base)
+					} else {
+						buf = comm.AppendUint32(cells[o], uint32(k))
+					}
 					cells[o] = m.codec.Append(buf, v)
 				})
 			})
@@ -362,60 +389,41 @@ func (m *hashMap[V]) ReduceSync() {
 			}
 		}
 
-		// Assemble per-dest payloads: `threads` uint32 section lengths,
-		// then the sections in key-range order. Double-buffered.
-		section := func(o, rt int) []byte {
-			if m.shared {
-				return m.sharedCells[o][rt]
-			}
-			return m.cells[rt][o]
-		}
-		out := m.sendBufs[m.sendGen]
+		// Scatter with compute/comm overlap: ExchangeFunc assembles and
+		// sends each destination's payload (tag, section lengths, sections
+		// in key-range order — see reducePayload) before the next
+		// destination's encode starts. Double-buffered.
+		m.reduceOut = m.sendBufs[m.sendGen]
 		m.sendGen ^= 1
-		for o := 0; o < numHosts; o++ {
-			if o == self {
-				continue
-			}
-			buf := out[o][:0]
-			total := 0
-			for rt := 0; rt < threads; rt++ {
-				n := len(section(o, rt))
-				buf = comm.AppendUint32(buf, uint32(n))
-				total += n
-			}
-			if total == 0 {
-				out[o] = buf[:0]
-				continue
-			}
-			for rt := 0; rt < threads; rt++ {
-				buf = append(buf, section(o, rt)...)
-			}
-			out[o] = buf
-		}
-		in := comm.ExchangeInto(m.h.EP, comm.TagReduce, out, m.recvIn)
+		in := comm.ExchangeFunc(m.h.EP, comm.TagReduce, m.encodeReduce, m.recvIn)
 
 		// Gather: thread t decodes section t of every payload — disjoint
-		// key ranges, each byte decoded once. The owned map's shard locks
-		// make the concurrent applies safe.
+		// key ranges, each byte decoded once; the payload's format tag says
+		// how its keys decode. The owned map's shard locks make the
+		// concurrent applies safe.
 		m.h.ParFor(threads, func(_, t int) {
+			base := graph.NodeID(sectionLo(t, uint64(threads), numGlobal))
 			for o := 0; o < numHosts; o++ {
 				if o == self || len(in[o]) == 0 {
 					continue
 				}
-				payload := in[o]
-				off := 4 * threads
-				for rt := 0; rt < t; rt++ {
-					u, _ := comm.ReadUint32(payload[4*rt:])
-					off += int(u)
-				}
-				secLen, _ := comm.ReadUint32(payload[4*t:])
-				sec := payload[off : off+int(secLen)]
-				for len(sec) > 0 {
-					var id uint32
-					id, sec = comm.ReadUint32(sec)
-					var v V
-					v, sec = m.codec.Read(sec)
-					m.applyToOwned(graph.NodeID(id), v)
+				sec, v2 := reduceSection(in[o], t, threads)
+				if v2 {
+					for len(sec) > 0 {
+						var d uint64
+						d, sec = comm.ReadUvarint(sec)
+						var v V
+						v, sec = m.codec.Read(sec)
+						m.applyToOwned(base+graph.NodeID(d), v)
+					}
+				} else {
+					for len(sec) > 0 {
+						var id uint32
+						id, sec = comm.ReadUint32(sec)
+						var v V
+						v, sec = m.codec.Read(sec)
+						m.applyToOwned(graph.NodeID(id), v)
+					}
 				}
 			}
 		})
@@ -425,6 +433,58 @@ func (m *hashMap[V]) ReduceSync() {
 		// pinned set.
 		m.cache.Reset()
 	})
+}
+
+// section returns the encoded bytes destined for host o's range bucket rt.
+func (m *hashMap[V]) section(o, rt int) []byte {
+	if m.shared {
+		return m.sharedCells[o][rt]
+	}
+	return m.cells[rt][o]
+}
+
+// reducePayload assembles the reduce payload for destination o: a 1-byte
+// wire tag, `threads` section byte-lengths (uint32 in v1, uvarint in v2),
+// then the sections in global key-range order. Empty rounds return an
+// empty payload with tag and header elided. Called by ExchangeFunc once
+// per destination, immediately before that destination's Send.
+func (m *hashMap[V]) reducePayload(o int) []byte {
+	threads := m.h.Threads
+	out := m.reduceOut
+	buf := out[o][:0]
+	total := 0
+	for rt := 0; rt < threads; rt++ {
+		total += len(m.section(o, rt))
+	}
+	if total == 0 {
+		out[o] = buf
+		return buf
+	}
+	if m.wire == comm.WireV2 {
+		buf = append(buf, wireV2)
+		for rt := 0; rt < threads; rt++ {
+			buf = comm.AppendUvarint(buf, uint64(len(m.section(o, rt))))
+		}
+	} else {
+		buf = append(buf, wireV1)
+		for rt := 0; rt < threads; rt++ {
+			buf = comm.AppendUint32(buf, uint32(len(m.section(o, rt))))
+		}
+	}
+	for rt := 0; rt < threads; rt++ {
+		buf = append(buf, m.section(o, rt)...)
+	}
+	out[o] = buf
+	return buf
+}
+
+// fetchReqPayload encodes the fetch request for host o: its byOwner ID
+// list behind a format tag (delta-varint under v2; the lists are sorted).
+// Called by ExchangeFunc once per destination.
+func (m *hashMap[V]) fetchReqPayload(o int) []byte {
+	out := m.fetchReqOut
+	out[o] = appendIDList(out[o][:0], m.wire, m.byOwner[o])
+	return out[o]
 }
 
 func (m *hashMap[V]) applyToOwned(k graph.NodeID, v V) {

@@ -1,0 +1,218 @@
+package npm
+
+import (
+	"fmt"
+
+	"kimbap/internal/comm"
+	"kimbap/internal/graph"
+)
+
+// Wire formats for the sync-phase payloads. Every non-empty reduce payload
+// and request-ID list starts with a one-byte format tag, so the two sides
+// negotiate per payload: a receiver decodes whatever format the sender
+// chose, and mixed-format clusters interoperate. Empty payloads stay
+// zero-length (no tag) — "nothing to send" is format independent.
+//
+// v1 is the original raw encoding: fixed uint32 keys and section lengths.
+// v2 exploits what the sectioned framing already guarantees: every key in
+// a section falls in one gather thread's key range, so keys are encoded as
+// uvarint deltas from the section's range base. Keys are *not*
+// delta-chained against the previous key — sections concatenate the
+// combine threads' cells in insertion order, so consecutive keys are
+// unsorted and a chain would need per-cell restart markers. Base-relative
+// deltas are order independent, which also keeps the encoded size (and
+// hence the comm_bytes the bench gate pins) deterministic across runs.
+// Values stay fixed width in both formats.
+const (
+	wireV1 byte = 1
+	wireV2 byte = 2
+)
+
+// resolveWire maps a map-level wire option to a concrete format: an unset
+// option defers to the cluster-wide default, and an unset default means v2.
+func resolveWire(opt, clusterDefault comm.WireFormat) comm.WireFormat {
+	if opt == comm.WireAuto {
+		opt = clusterDefault
+	}
+	if opt == comm.WireAuto {
+		opt = comm.WireV2
+	}
+	return opt
+}
+
+// reduceSection extracts gather thread t's section from a non-empty tagged
+// reduce payload (`[tag][threads section lengths][sections]`; lengths are
+// uint32 in v1, uvarint in v2). It reports whether the payload is v2, which
+// decides how the section's keys decode. Payloads come from peer hosts in
+// the same process, so malformed input panics; the fuzz target exercises
+// reduceSectionChecked instead.
+func reduceSection(payload []byte, t, threads int) (sec []byte, v2 bool) {
+	switch payload[0] {
+	case wireV1:
+		b := payload[1:]
+		off := 4 * threads
+		for rt := 0; rt < t; rt++ {
+			u, _ := comm.ReadUint32(b[4*rt:])
+			off += int(u)
+		}
+		n, _ := comm.ReadUint32(b[4*t:])
+		return b[off : off+int(n)], false
+	case wireV2:
+		b := payload[1:]
+		var before, secLen uint64
+		for rt := 0; rt < threads; rt++ {
+			var ln uint64
+			ln, b = comm.ReadUvarint(b)
+			if rt < t {
+				before += ln
+			} else if rt == t {
+				secLen = ln
+			}
+		}
+		return b[before : before+secLen], true
+	default:
+		panic(fmt.Sprintf("npm: unknown wire format tag %d", payload[0]))
+	}
+}
+
+// reduceSectionChecked is reduceSection over untrusted bytes: it reports
+// malformed input (unknown tag, truncated header, lengths past the end)
+// instead of panicking. The decoder fuzz target uses it to prove the
+// trusted decoder's bounds arithmetic never reads out of range.
+func reduceSectionChecked(payload []byte, t, threads int) (sec []byte, v2, ok bool) {
+	if t < 0 || t >= threads || len(payload) == 0 {
+		return nil, false, false
+	}
+	switch payload[0] {
+	case wireV1:
+		b := payload[1:]
+		if len(b) < 4*threads {
+			return nil, false, false
+		}
+		off := uint64(4 * threads)
+		var secLen uint64
+		total := uint64(len(b))
+		for rt := 0; rt < threads; rt++ {
+			u, _ := comm.ReadUint32(b[4*rt:])
+			if rt < t {
+				off += uint64(u)
+			} else if rt == t {
+				secLen = uint64(u)
+			}
+			if off > total || off+secLen > total {
+				return nil, false, false
+			}
+		}
+		return b[off : off+secLen], false, true
+	case wireV2:
+		b := payload[1:]
+		var before, secLen uint64
+		for rt := 0; rt < threads; rt++ {
+			ln, rest, lok := comm.ReadUvarintChecked(b)
+			if !lok {
+				return nil, false, false
+			}
+			b = rest
+			if rt < t {
+				before += ln
+			} else if rt == t {
+				secLen = ln
+			}
+		}
+		if before > uint64(len(b)) || before+secLen > uint64(len(b)) {
+			return nil, false, false
+		}
+		return b[before : before+secLen], true, true
+	default:
+		return nil, false, false
+	}
+}
+
+// validSectionEntries reports whether sec parses as a whole number of
+// (key, value) entries for the given format and value width.
+func validSectionEntries(sec []byte, v2 bool, valSize int) bool {
+	for len(sec) > 0 {
+		if v2 {
+			_, rest, ok := comm.ReadUvarintChecked(sec)
+			if !ok {
+				return false
+			}
+			sec = rest
+		} else {
+			if len(sec) < 4 {
+				return false
+			}
+			sec = sec[4:]
+		}
+		if len(sec) < valSize {
+			return false
+		}
+		sec = sec[valSize:]
+	}
+	return true
+}
+
+// appendIDList encodes a request-ID list (sorted ascending — the request
+// paths build them from ascending bitset walks or pre-sorted pin sets)
+// behind a format tag. v1 is raw uint32 IDs; v2 is true delta-varint: the
+// first ID, then successive differences, which are small for the clustered
+// request sets graph traversals produce. An empty list encodes as an empty
+// payload.
+func appendIDList(buf []byte, wire comm.WireFormat, ids []graph.NodeID) []byte {
+	if len(ids) == 0 {
+		return buf
+	}
+	if wire == comm.WireV1 {
+		buf = append(buf, wireV1)
+		for _, id := range ids {
+			buf = comm.AppendUint32(buf, uint32(id))
+		}
+		return buf
+	}
+	buf = append(buf, wireV2)
+	prev := graph.NodeID(0)
+	for _, id := range ids {
+		buf = comm.AppendUvarint(buf, uint64(id-prev))
+		prev = id
+	}
+	return buf
+}
+
+// idListDecoder walks a tagged ID list in order. It is a by-value iterator
+// so the serve loops in the request paths decode with zero allocations.
+type idListDecoder struct {
+	b  []byte
+	v2 bool
+	id uint64 // running delta accumulator (v2)
+}
+
+// decodeIDList starts decoding a payload produced by appendIDList.
+func decodeIDList(payload []byte) idListDecoder {
+	if len(payload) == 0 {
+		return idListDecoder{}
+	}
+	switch payload[0] {
+	case wireV1:
+		return idListDecoder{b: payload[1:]}
+	case wireV2:
+		return idListDecoder{b: payload[1:], v2: true}
+	default:
+		panic(fmt.Sprintf("npm: unknown wire format tag %d", payload[0]))
+	}
+}
+
+// next returns the next ID, or ok=false at the end of the list.
+func (d *idListDecoder) next() (graph.NodeID, bool) {
+	if len(d.b) == 0 {
+		return 0, false
+	}
+	if d.v2 {
+		var delta uint64
+		delta, d.b = comm.ReadUvarint(d.b)
+		d.id += delta
+		return graph.NodeID(d.id), true
+	}
+	var u uint32
+	u, d.b = comm.ReadUint32(d.b)
+	return graph.NodeID(u), true
+}

@@ -1,0 +1,165 @@
+package npm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kimbap/internal/comm"
+	"kimbap/internal/graph"
+)
+
+// buildReducePayload assembles a tagged reduce payload from explicit
+// sections, the same framing reducePayload produces, for codec-level tests.
+func buildReducePayload(wire comm.WireFormat, sections [][]byte) []byte {
+	var buf []byte
+	if wire == comm.WireV2 {
+		buf = append(buf, wireV2)
+		for _, sec := range sections {
+			buf = comm.AppendUvarint(buf, uint64(len(sec)))
+		}
+	} else {
+		buf = append(buf, wireV1)
+		for _, sec := range sections {
+			buf = comm.AppendUint32(buf, uint32(len(sec)))
+		}
+	}
+	for _, sec := range sections {
+		buf = append(buf, sec...)
+	}
+	return buf
+}
+
+func TestReduceSectionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, wire := range []comm.WireFormat{comm.WireV1, comm.WireV2} {
+		for _, threads := range []int{1, 2, 4, 7} {
+			sections := make([][]byte, threads)
+			for i := range sections {
+				sec := make([]byte, rng.Intn(40))
+				rng.Read(sec)
+				if rng.Intn(4) == 0 {
+					sec = nil // empty sections must survive the framing
+				}
+				sections[i] = sec
+			}
+			payload := buildReducePayload(wire, sections)
+			for ti := 0; ti < threads; ti++ {
+				sec, v2 := reduceSection(payload, ti, threads)
+				if v2 != (wire == comm.WireV2) {
+					t.Fatalf("wire %d: v2 flag = %v", wire, v2)
+				}
+				if !bytes.Equal(sec, sections[ti]) {
+					t.Fatalf("wire %d threads %d: section %d mismatch", wire, threads, ti)
+				}
+				csec, cv2, ok := reduceSectionChecked(payload, ti, threads)
+				if !ok || cv2 != v2 || !bytes.Equal(csec, sec) {
+					t.Fatalf("wire %d: checked decoder disagrees (ok=%v)", wire, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSectionCheckedRejectsMalformed(t *testing.T) {
+	good := buildReducePayload(comm.WireV2, [][]byte{{1, 2, 3}, {4, 5}})
+	cases := map[string]struct {
+		payload []byte
+		t       int
+	}{
+		"empty":        {[]byte{}, 0},
+		"unknown tag":  {append([]byte{0x7f}, good[1:]...), 0},
+		"truncated":    {good[:len(good)-1], 1}, // section 1 now ends past the payload
+		"header only":  {good[:2], 0},
+		"length past":  {[]byte{wireV2, 0x10, 0x00, 1, 2}, 0},
+		"v1 short hdr": {[]byte{wireV1, 0x01, 0x00}, 0},
+		"bad t":        {good, 2},
+	}
+	for name, c := range cases {
+		if _, _, ok := reduceSectionChecked(c.payload, c.t, 2); ok {
+			t.Errorf("%s: checked decoder accepted malformed payload", name)
+		}
+	}
+	// And the original stays decodable.
+	if _, _, ok := reduceSectionChecked(good, 1, 2); !ok {
+		t.Fatal("checked decoder rejected a well-formed payload")
+	}
+}
+
+func TestIDListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, wire := range []comm.WireFormat{comm.WireV1, comm.WireV2} {
+		for trial := 0; trial < 20; trial++ {
+			n := rng.Intn(50)
+			ids := make([]graph.NodeID, 0, n)
+			next := graph.NodeID(rng.Intn(10))
+			for i := 0; i < n; i++ {
+				ids = append(ids, next)
+				next += graph.NodeID(1 + rng.Intn(1000)) // sorted, gappy
+			}
+			payload := appendIDList(nil, wire, ids)
+			if n == 0 && payload != nil {
+				t.Fatalf("wire %d: empty list encoded to %d bytes", wire, len(payload))
+			}
+			var got []graph.NodeID
+			dec := decodeIDList(payload)
+			for id, ok := dec.next(); ok; id, ok = dec.next() {
+				got = append(got, id)
+			}
+			if len(got) != len(ids) {
+				t.Fatalf("wire %d: decoded %d ids, want %d", wire, len(got), len(ids))
+			}
+			for i := range ids {
+				if got[i] != ids[i] {
+					t.Fatalf("wire %d: id %d = %d, want %d", wire, i, got[i], ids[i])
+				}
+			}
+		}
+	}
+}
+
+// Dense consecutive ID lists — the common request pattern — must get the
+// promised compression: one byte per ID after the first.
+func TestIDListV2Compression(t *testing.T) {
+	ids := make([]graph.NodeID, 128)
+	for i := range ids {
+		ids[i] = graph.NodeID(100000 + i)
+	}
+	v1 := appendIDList(nil, comm.WireV1, ids)
+	v2 := appendIDList(nil, comm.WireV2, ids)
+	if len(v1) != 1+4*len(ids) {
+		t.Fatalf("v1 size = %d", len(v1))
+	}
+	// tag + 3-byte first delta + 1 byte per subsequent ID
+	if want := 1 + 3 + (len(ids) - 1); len(v2) != want {
+		t.Fatalf("v2 size = %d, want %d", len(v2), want)
+	}
+}
+
+// FuzzDecodeSection drives the checked v1/v2 payload decoder with
+// arbitrary bytes: it must never panic or read out of bounds, and whenever
+// it accepts a payload the trusted (panicking) decoder must agree with it
+// byte for byte.
+func FuzzDecodeSection(f *testing.F) {
+	f.Add(buildReducePayload(comm.WireV2, [][]byte{{5, 0xaa, 0xbb}, {}}), uint8(2), uint8(0), uint8(2))
+	f.Add(buildReducePayload(comm.WireV1, [][]byte{{1, 0, 0, 0, 9, 9, 9, 9}, {2, 0, 0, 0, 8, 8, 8, 8}}), uint8(2), uint8(1), uint8(4))
+	f.Add(buildReducePayload(comm.WireV2, [][]byte{nil, nil, nil, nil}), uint8(4), uint8(3), uint8(8))
+	f.Add([]byte{wireV2, 0xff, 0xff, 0xff, 0xff, 0xff}, uint8(1), uint8(0), uint8(4))
+	f.Add([]byte{}, uint8(1), uint8(0), uint8(4))
+	f.Fuzz(func(t *testing.T, payload []byte, threads, tid, valSize uint8) {
+		th := int(threads)%8 + 1
+		ti := int(tid) % th
+		vs := int(valSize) % 17
+		sec, v2, ok := reduceSectionChecked(payload, ti, th)
+		if !ok {
+			return
+		}
+		tsec, tv2 := reduceSection(payload, ti, th)
+		if tv2 != v2 || !bytes.Equal(tsec, sec) {
+			t.Fatalf("trusted and checked decoders disagree: %v/%v", v2, tv2)
+		}
+		// Entry validation over the section must terminate without panics
+		// whatever it decides.
+		validSectionEntries(sec, v2, vs)
+	})
+}

@@ -46,7 +46,17 @@ type Partitioned struct {
 	Policy     Policy
 	Hosts      []*HostPartition
 	boundaries []graph.NodeID // len NumHosts+1; owner(v) = range containing v
+	// ownerTab[v>>ownerBlockShift] = owner of that block's first node.
+	// Owner starts there and walks at most the boundaries that fall inside
+	// one block — O(1) for the per-entry lookups on the reduce-sync encode
+	// path, where a binary search per key is measurable. Built only when
+	// NumHosts fits uint8; Owner falls back to the search otherwise.
+	ownerTab []uint8
 }
+
+// ownerBlockShift sets the owner-table block size (64 nodes/byte: 2 MB of
+// table per 128M nodes, far below the CSR arrays for any such graph).
+const ownerBlockShift = 6
 
 // HostPartition is one host's local view: a local CSR over local node IDs,
 // with masters occupying local IDs [0, NumMasters) and mirrors following.
@@ -85,6 +95,7 @@ func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
 		Policy:     policy,
 		boundaries: degreeBalancedBoundaries(g, numHosts),
 	}
+	p.buildOwnerTab()
 	assign := p.edgeAssigner(policy, numHosts)
 
 	// Pass 1: count edges per host and collect the set of non-master
@@ -154,9 +165,33 @@ func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
 // Owner returns the host that holds the master proxy of global node v.
 func (p *Partitioned) Owner(v graph.NodeID) int {
 	// boundaries[h] <= v < boundaries[h+1]  =>  owner is h.
+	if p.ownerTab != nil {
+		h := int(p.ownerTab[v>>ownerBlockShift])
+		for p.boundaries[h+1] <= v {
+			h++
+		}
+		return h
+	}
 	return sort.Search(len(p.boundaries)-1, func(h int) bool {
 		return p.boundaries[h+1] > v
 	})
+}
+
+func (p *Partitioned) buildOwnerTab() {
+	if p.NumHosts > 256 || p.NumNodes == 0 {
+		return
+	}
+	nb := (p.NumNodes + (1 << ownerBlockShift) - 1) >> ownerBlockShift
+	tab := make([]uint8, nb)
+	h := 0
+	for b := range tab {
+		v := graph.NodeID(b << ownerBlockShift)
+		for p.boundaries[h+1] <= v {
+			h++
+		}
+		tab[b] = uint8(h)
+	}
+	p.ownerTab = tab
 }
 
 // MasterRange returns the global-ID range [lo, hi) of masters on host h.

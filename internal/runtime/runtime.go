@@ -35,6 +35,10 @@ type Config struct {
 	// UseTCP selects the real-socket transport instead of the in-memory
 	// channel transport.
 	UseTCP bool
+	// Wire is the cluster-wide default for the property-map payload
+	// encoding; maps can override it per instance. The zero value
+	// (comm.WireAuto) means the npm package default (v2).
+	Wire comm.WireFormat
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +70,7 @@ type Host struct {
 	HP      *partition.HostPartition
 	EP      comm.Endpoint
 	Threads int
+	Wire    comm.WireFormat
 	Timers  Timers
 
 	pool   *workerPool
@@ -103,6 +108,7 @@ func NewCluster(g *graph.Graph, cfg Config) (*Cluster, error) {
 			HP:      part.Hosts[i],
 			EP:      eps[i],
 			Threads: cfg.ThreadsPerHost,
+			Wire:    cfg.Wire,
 			pool:    newWorkerPool(cfg.ThreadsPerHost),
 		})
 	}
@@ -154,6 +160,21 @@ func (c *Cluster) CommStats() (messages, bytes int64) {
 		m, b := h.EP.Stats()
 		messages += m
 		bytes += b
+	}
+	return messages, bytes
+}
+
+// CommStatsByTag sums messages and bytes sent by all hosts, broken down by
+// message tag (both slices have comm.NumTags entries, indexed by comm.Tag).
+func (c *Cluster) CommStatsByTag() (messages, bytes []int64) {
+	messages = make([]int64, comm.NumTags)
+	bytes = make([]int64, comm.NumTags)
+	for _, h := range c.hosts {
+		m, b := h.EP.StatsByTag()
+		for t := range m {
+			messages[t] += m[t]
+			bytes[t] += b[t]
+		}
 	}
 	return messages, bytes
 }
