@@ -18,6 +18,7 @@
 package algorithms
 
 import (
+	"kimbap/internal/comm"
 	"kimbap/internal/graph"
 	"kimbap/internal/npm"
 	"kimbap/internal/runtime"
@@ -36,6 +37,14 @@ type Config struct {
 	// StatsSink, if set, receives each property map's read-locality
 	// counters when an algorithm finishes (the §4.2 measurement).
 	StatsSink ReadStatsSink
+	// Dense forces every round to visit all local nodes, disabling the
+	// frontier-driven sparse execution of CC/MIS/MSF. The frontier path is
+	// the default; Dense exists for the dense-vs-sparse equivalence tests
+	// and benchmarks.
+	Dense bool
+	// LogRounds records per-BSP-round activity (active vertices, reduce
+	// bytes sent by this host) into the algorithm's stats.
+	LogRounds bool
 }
 
 // ReadStatsSink receives read-locality counters.
@@ -61,6 +70,65 @@ func (c Config) maxRounds() int {
 // (true for non-GAR backends; see the package comment).
 func (c Config) requestActive() bool {
 	return c.Variant != npm.Full && c.Variant != ""
+}
+
+// newFrontier attaches a fresh frontier over h's local proxies to m when
+// frontier-driven execution applies: the backend must implement
+// npm.FrontierSink (only the Full variant does) and Dense must be off.
+// Returns nil otherwise; callers fall back to dense rounds on nil.
+func (c Config) newFrontier(h *runtime.Host, m any) *runtime.Frontier {
+	if c.Dense {
+		return nil
+	}
+	sink, ok := m.(npm.FrontierSink)
+	if !ok {
+		return nil
+	}
+	f := runtime.NewFrontier(h.HP.NumLocal())
+	sink.SetFrontier(f)
+	return f
+}
+
+// RoundStats is the per-BSP-round activity log filled under
+// Config.LogRounds, one entry per round in execution order: how many local
+// vertices the round visited, how many reduce-sync payload bytes this host
+// sent during it, and whether it was a hook/propagate round (edge work) as
+// opposed to a pointer-jumping shortcut round.
+type RoundStats struct {
+	Active      []int64
+	ReduceBytes []int64
+	Hook        []bool
+}
+
+// roundLogger appends one RoundStats entry per record call, charging each
+// round the TagReduce bytes sent since the previous one.
+type roundLogger struct {
+	h    *runtime.Host
+	out  *RoundStats
+	prev int64
+}
+
+func (c Config) roundLogger(h *runtime.Host, out *RoundStats) *roundLogger {
+	if !c.LogRounds {
+		return nil
+	}
+	return &roundLogger{h: h, out: out, prev: reduceBytesSent(h)}
+}
+
+func reduceBytesSent(h *runtime.Host) int64 {
+	_, b := h.EP.StatsByTag()
+	return b[comm.TagReduce]
+}
+
+func (r *roundLogger) record(active int, hook bool) {
+	if r == nil {
+		return
+	}
+	now := reduceBytesSent(r.h)
+	r.out.Active = append(r.out.Active, int64(active))
+	r.out.ReduceBytes = append(r.out.ReduceBytes, now-r.prev)
+	r.out.Hook = append(r.out.Hook, hook)
+	r.prev = now
 }
 
 func (c Config) newNodeMap(h *runtime.Host, op npm.ReduceOp[graph.NodeID]) npm.Map[graph.NodeID] {

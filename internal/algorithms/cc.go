@@ -10,12 +10,23 @@ import (
 // CC-SV (Shiloach-Vishkin, trans-vertex), CC-LP (label propagation,
 // adjacent-vertex), and CC-SCLP (shortcutting label propagation, both).
 // All label every node with the smallest node ID in its component.
+//
+// CC-SV and CC-LP run frontier-driven by default on the Full variant (see
+// DESIGN.md §10): the property map activates every local proxy whose value
+// changes during a sync phase, and the next round iterates only the active
+// set. Late rounds — where <1% of vertices still change — then cost
+// O(active) instead of O(|V|). Config.Dense restores the dense loops; the
+// labels are identical either way (the min-label fixpoint does not depend
+// on evaluation order).
 
 // CCStats reports per-run counters.
 type CCStats struct {
 	HookRounds     int // hook (or propagate) BSP rounds
 	ShortcutRounds int
 	OuterRounds    int
+	// PerRound is filled under Config.LogRounds, one entry per BSP round in
+	// execution order (hook rounds, then shortcut rounds, per outer round).
+	PerRound RoundStats
 }
 
 // CCSV runs Shiloach-Vishkin connected components on one host (SPMD).
@@ -27,12 +38,23 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	initOwn(h, parent)
 
 	var stats CCStats
+	fr := cfg.newFrontier(h, parent)
+	rl := cfg.roundLogger(h, &stats.PerRound)
+	// acc accumulates every proxy the shortcut phase changes, so the next
+	// outer round's hook phase can start from the changed set instead of a
+	// full re-activation (the first hook phase has no prior change record
+	// and starts dense: seed is nil until a shortcut phase has run).
+	var acc, seed *runtime.Bitset
+	if fr != nil {
+		acc = runtime.NewBitset(h.HP.NumLocal())
+	}
 	var workDone runtime.BoolReducer
 	for {
 		stats.OuterRounds++
 		workDone.Set(false)
-		stats.HookRounds += ccHook(h, cfg, parent, &workDone)
-		stats.ShortcutRounds += ccShortcut(h, cfg, parent)
+		stats.HookRounds += ccHook(h, cfg, parent, &workDone, fr, seed, rl)
+		stats.ShortcutRounds += ccShortcut(h, cfg, parent, fr, acc, rl)
+		seed = acc
 		workDone.Sync(h.EP)
 		if !workDone.Read() || stats.OuterRounds >= cfg.maxRounds() {
 			break
@@ -48,10 +70,46 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 // by parent(dst). Reads touch only the active node and its neighbors, so
 // the compiler pins mirrors and elides requests (§5.2); the reduce target
 // parent(src) is an arbitrary node (trans-vertex).
+//
+// With a frontier, only proxies whose parent changed last round are
+// visited, and the hook is applied in *both* directions of each stored
+// edge: when parent(dst) changes, the host storing src->dst may hold dst
+// only as a mirror with no out-edges, so the re-examination of that edge
+// must happen from dst's side wherever the symmetrized counterpart lives —
+// iterating every activated proxy and hooking both ways covers every edge
+// incident to a changed node. The reverse direction is skipped when dst is
+// itself active: activation is consistent across every host holding a
+// proxy (the same sync delivers the change everywhere), so an active dst
+// is visited wherever the symmetrized edge dst->src lives and its forward
+// hook covers that side — skipping keeps the frontier run's reduces a
+// subset of the dense run's (a full frontier degenerates to exactly the
+// dense loop) instead of doubling edge work when both endpoints changed.
+// The extra direction is a no-op for the dense loop's fixpoint (min-reduce
+// is idempotent), so labels stay identical.
 func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
-	workDone *runtime.BoolReducer) int {
+	workDone *runtime.BoolReducer, fr *runtime.Frontier, seed *runtime.Bitset,
+	rl *roundLogger) int {
 
+	// Reset before pinning: PinMirrors refreshes mirrors from masters and
+	// activates every mirror whose value changed since the last unpin, and
+	// those activations must land in the next set the seed joins.
+	if fr != nil {
+		fr.Reset()
+	}
 	parent.PinMirrors()
+	if fr != nil {
+		if seed != nil {
+			// Masters the preceding shortcut phase changed; together with
+			// the pin-time mirror activations this covers every proxy whose
+			// parent moved since the last hook round.
+			fr.ActivateSet(seed)
+			seed.Clear()
+		} else {
+			// First hook phase: no prior change record, start dense.
+			fr.ActivateAll()
+		}
+		fr.Advance()
+	}
 	rounds := 0
 	for {
 		rounds++
@@ -59,23 +117,37 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 		if cfg.requestActive() {
 			requestLocalProxies(h, parent)
 		}
-		h.TimeCompute(func() {
-			local := h.HP.Local
-			h.ParForNodes(func(tid int, src graph.NodeID) {
-				srcParent := parent.Read(h.HP.GlobalID(src))
-				lo, hi := local.EdgeRange(src)
-				for e := lo; e < hi; e++ {
-					dst := local.Dst(e)
-					dstParent := parent.Read(h.HP.GlobalID(dst))
-					if srcParent > dstParent {
-						workDone.Reduce(true)
-						parent.Reduce(tid, srcParent, dstParent)
-					}
+		local := h.HP.Local
+		body := func(tid int, src graph.NodeID) {
+			srcParent := parent.Read(h.HP.GlobalID(src))
+			lo, hi := local.EdgeRange(src)
+			for e := lo; e < hi; e++ {
+				dst := local.Dst(e)
+				dstParent := parent.Read(h.HP.GlobalID(dst))
+				if srcParent > dstParent {
+					workDone.Reduce(true)
+					parent.Reduce(tid, srcParent, dstParent)
+				} else if fr != nil && dstParent > srcParent && !fr.IsActive(int(dst)) {
+					workDone.Reduce(true)
+					parent.Reduce(tid, dstParent, srcParent)
 				}
-			})
+			}
+		}
+		h.TimeCompute(func() {
+			if fr != nil {
+				h.ParForActive(fr, body)
+			} else {
+				h.ParForNodes(body)
+			}
 		})
 		parent.ReduceSync()
 		parent.BroadcastSync()
+		active := h.HP.NumLocal()
+		if fr != nil {
+			active = fr.Count()
+			fr.Advance()
+		}
+		rl.record(active, true)
 		if !parent.IsUpdated() || rounds >= cfg.maxRounds() {
 			break
 		}
@@ -89,7 +161,22 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 // arbitrary node, so each round requests it explicitly (the Figure 8
 // generated code); the compiler's master-elision restricts iteration to
 // master nodes.
-func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID]) int {
+//
+// The frontier starts with every master (the preceding phase changed
+// parents untracked) and then narrows to masters whose parent changed:
+// once a master points at a root its shortcut stays ineffective — roots
+// keep pointing at themselves within the phase — until its own parent
+// changes again, which re-activates it.
+func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
+	fr *runtime.Frontier, acc *runtime.Bitset, rl *roundLogger) int {
+
+	if fr != nil {
+		// Reset discards stale activations (e.g. mirror bits from a prior
+		// broadcast); shortcut iterates masters only.
+		fr.Reset()
+		fr.ActivateRange(0, h.HP.NumMasters)
+		fr.Advance()
+	}
 	rounds := 0
 	for {
 		rounds++
@@ -99,24 +186,45 @@ func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID]) int {
 		}
 		// Request phase generated by the operator split: read parent(n),
 		// request parent(parent(n)).
+		reqBody := func(_ int, local graph.NodeID) {
+			p := parent.Read(h.HP.GlobalID(local))
+			parent.Request(p)
+		}
 		h.TimeCompute(func() {
-			h.ParForMasters(func(_ int, local graph.NodeID) {
-				p := parent.Read(h.HP.GlobalID(local))
-				parent.Request(p)
-			})
+			if fr != nil {
+				h.ParForActive(fr, reqBody)
+			} else {
+				h.ParForMasters(reqBody)
+			}
 		})
 		parent.RequestSync()
+		body := func(tid int, local graph.NodeID) {
+			gid := h.HP.GlobalID(local)
+			p := parent.Read(gid)
+			gp := parent.Read(p)
+			if p != gp {
+				parent.Reduce(tid, gid, gp)
+			}
+		}
 		h.TimeCompute(func() {
-			h.ParForMasters(func(tid int, local graph.NodeID) {
-				gid := h.HP.GlobalID(local)
-				p := parent.Read(gid)
-				gp := parent.Read(p)
-				if p != gp {
-					parent.Reduce(tid, gid, gp)
-				}
-			})
+			if fr != nil {
+				h.ParForActive(fr, body)
+			} else {
+				h.ParForMasters(body)
+			}
 		})
 		parent.ReduceSync()
+		active := h.HP.NumMasters
+		if fr != nil {
+			active = fr.Count()
+			fr.Advance()
+			if acc != nil {
+				// Record this round's changed masters for the next hook
+				// phase's seed (see CCSV).
+				fr.OrCurrentInto(acc)
+			}
+		}
+		rl.record(active, false)
 		if !parent.IsUpdated() || rounds >= cfg.maxRounds() {
 			break
 		}
@@ -127,34 +235,55 @@ func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID]) int {
 // CCLP runs label-propagation connected components (SPMD): each round
 // every node pushes its label to its neighbors with a min reduction. A
 // pure adjacent-vertex program — mirrors stay pinned and no requests are
-// ever needed, matching Gluon's execution.
+// ever needed, matching Gluon's execution. With a frontier only proxies
+// whose label shrank last round push: a push from src can only become
+// effective after label(src) itself shrinks (neighbor labels only ever
+// decrease, which never enables src's push), so label-change activation
+// covers every effective push.
 func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	comp := cfg.newNodeMap(h, npm.MinNodeID())
 	initOwn(h, comp)
 
 	var stats CCStats
+	fr := cfg.newFrontier(h, comp)
+	rl := cfg.roundLogger(h, &stats.PerRound)
 	comp.PinMirrors()
+	if fr != nil {
+		fr.ActivateAll()
+		fr.Advance()
+	}
 	for {
 		stats.HookRounds++
 		comp.ResetUpdated()
 		if cfg.requestActive() {
 			requestLocalProxies(h, comp)
 		}
-		h.TimeCompute(func() {
-			local := h.HP.Local
-			h.ParForNodes(func(tid int, src graph.NodeID) {
-				label := comp.Read(h.HP.GlobalID(src))
-				lo, hi := local.EdgeRange(src)
-				for e := lo; e < hi; e++ {
-					dstGID := h.HP.GlobalID(local.Dst(e))
-					if label < comp.Read(dstGID) {
-						comp.Reduce(tid, dstGID, label)
-					}
+		local := h.HP.Local
+		body := func(tid int, src graph.NodeID) {
+			label := comp.Read(h.HP.GlobalID(src))
+			lo, hi := local.EdgeRange(src)
+			for e := lo; e < hi; e++ {
+				dstGID := h.HP.GlobalID(local.Dst(e))
+				if label < comp.Read(dstGID) {
+					comp.Reduce(tid, dstGID, label)
 				}
-			})
+			}
+		}
+		h.TimeCompute(func() {
+			if fr != nil {
+				h.ParForActive(fr, body)
+			} else {
+				h.ParForNodes(body)
+			}
 		})
 		comp.ReduceSync()
 		comp.BroadcastSync()
+		active := h.HP.NumLocal()
+		if fr != nil {
+			active = fr.Count()
+			fr.Advance()
+		}
+		rl.record(active, true)
 		if !comp.IsUpdated() || stats.HookRounds >= cfg.maxRounds() {
 			break
 		}
@@ -168,12 +297,16 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 
 // CCSCLP runs shortcutting label propagation (Stergiou et al.): label
 // propagation rounds interleaved with pointer-jumping shortcut rounds.
-// Propagation is adjacent-vertex; the shortcut is trans-vertex.
+// Propagation is adjacent-vertex; the shortcut is trans-vertex. Each outer
+// round runs exactly one full propagation pass, so only the shortcut
+// phases are frontier-driven.
 func CCSCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	comp := cfg.newNodeMap(h, npm.MinNodeID())
 	initOwn(h, comp)
 
 	var stats CCStats
+	fr := cfg.newFrontier(h, comp)
+	rl := cfg.roundLogger(h, &stats.PerRound)
 	for {
 		stats.OuterRounds++
 		var workDone runtime.BoolReducer
@@ -206,9 +339,10 @@ func CCSCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 		}
 		comp.UnpinMirrors()
 		stats.HookRounds++
+		rl.record(h.HP.NumLocal(), true)
 
 		// Shortcut to collapse label chains.
-		stats.ShortcutRounds += ccShortcut(h, cfg, comp)
+		stats.ShortcutRounds += ccShortcut(h, cfg, comp, fr, nil, rl)
 
 		workDone.Sync(h.EP)
 		if !workDone.Read() || stats.OuterRounds >= cfg.maxRounds() {

@@ -75,6 +75,19 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 	state.InitSync()
 	state.PinMirrors()
 
+	// The frontier is the undecided set, managed by the algorithm itself
+	// (no map hook needed, so it works on every backend): a proxy leaves it
+	// permanently once its state is decided, and every MIS phase only ever
+	// needs to visit undecided proxies — decided nodes contribute nothing
+	// to minNbr, cannot re-decide, and knocked out all their undecided
+	// neighbors in the round they joined the set.
+	var fr *runtime.Frontier
+	if !cfg.Dense {
+		fr = runtime.NewFrontier(h.HP.NumLocal())
+		fr.ActivateAll()
+		fr.Advance()
+	}
+
 	var stats MISStats
 	var remaining runtime.CountReducer
 	for {
@@ -91,20 +104,25 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			requestLocalProxies(h, state)
 			requestLocalProxies(h, prio)
 		}
+		accBody := func(tid int, n graph.NodeID) {
+			gid := h.HP.GlobalID(n)
+			if state.Read(gid) != misUndecided {
+				return
+			}
+			lo, hi := local.EdgeRange(n)
+			for e := lo; e < hi; e++ {
+				dgid := h.HP.GlobalID(local.Dst(e))
+				if dgid != gid && state.Read(dgid) == misUndecided {
+					minNbr.Reduce(tid, gid, prio.Read(dgid))
+				}
+			}
+		}
 		h.TimeCompute(func() {
-			h.ParForNodes(func(tid int, n graph.NodeID) {
-				gid := h.HP.GlobalID(n)
-				if state.Read(gid) != misUndecided {
-					return
-				}
-				lo, hi := local.EdgeRange(n)
-				for e := lo; e < hi; e++ {
-					dgid := h.HP.GlobalID(local.Dst(e))
-					if dgid != gid && state.Read(dgid) == misUndecided {
-						minNbr.Reduce(tid, gid, prio.Read(dgid))
-					}
-				}
-			})
+			if fr != nil {
+				h.ParForActive(fr, accBody)
+			} else {
+				h.ParForNodes(accBody)
+			}
 		})
 		minNbr.ReduceSync()
 
@@ -116,51 +134,81 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			requestLocalProxies(h, prio)
 		}
 		state.ResetUpdated()
-		h.TimeCompute(func() {
-			h.ParForMasters(func(tid int, n graph.NodeID) {
-				gid := h.HP.GlobalID(n)
-				if state.Read(gid) != misUndecided {
-					return
-				}
-				if prio.Read(gid) < minNbr.Read(gid) {
-					state.Reduce(tid, gid, misIn)
-				}
-			})
-		})
-		state.ReduceSync()
-		state.BroadcastSync()
-
-		// Knock-out: undecided neighbors of new members drop out.
-		if cfg.requestActive() {
-			requestLocalProxies(h, state)
+		decBody := func(tid int, n graph.NodeID) {
+			gid := h.HP.GlobalID(n)
+			if state.Read(gid) != misUndecided {
+				return
+			}
+			if prio.Read(gid) < minNbr.Read(gid) {
+				state.Reduce(tid, gid, misIn)
+			}
 		}
 		h.TimeCompute(func() {
-			h.ParForNodes(func(tid int, n graph.NodeID) {
-				gid := h.HP.GlobalID(n)
-				if state.Read(gid) != misIn {
-					return
-				}
-				lo, hi := local.EdgeRange(n)
-				for e := lo; e < hi; e++ {
-					dgid := h.HP.GlobalID(local.Dst(e))
-					if dgid != gid && state.Read(dgid) == misUndecided {
-						state.Reduce(tid, dgid, misOut)
+			if fr != nil {
+				nm := h.HP.NumMasters
+				h.ParForActive(fr, func(tid int, n graph.NodeID) {
+					if int(n) < nm {
+						decBody(tid, n)
 					}
-				}
-			})
-		})
-		state.ReduceSync()
-		state.BroadcastSync()
-
-		remaining.Set(0)
-		if cfg.requestActive() {
-			requestLocalProxies(h, state)
-		}
-		h.ParForMasters(func(_ int, n graph.NodeID) {
-			if state.Read(h.HP.GlobalID(n)) == misUndecided {
-				remaining.Reduce(1)
+				})
+			} else {
+				h.ParForMasters(decBody)
 			}
 		})
+		state.ReduceSync()
+		state.BroadcastSync()
+
+		// Knock-out: undecided neighbors of new members drop out. The
+		// frontier holds last round's undecided proxies, so a misIn state
+		// there means the node joined *this* round — exactly the members
+		// whose neighbors still need knocking out.
+		if cfg.requestActive() {
+			requestLocalProxies(h, state)
+		}
+		koBody := func(tid int, n graph.NodeID) {
+			gid := h.HP.GlobalID(n)
+			if state.Read(gid) != misIn {
+				return
+			}
+			lo, hi := local.EdgeRange(n)
+			for e := lo; e < hi; e++ {
+				dgid := h.HP.GlobalID(local.Dst(e))
+				if dgid != gid && state.Read(dgid) == misUndecided {
+					state.Reduce(tid, dgid, misOut)
+				}
+			}
+		}
+		h.TimeCompute(func() {
+			if fr != nil {
+				h.ParForActive(fr, koBody)
+			} else {
+				h.ParForNodes(koBody)
+			}
+		})
+		state.ReduceSync()
+		state.BroadcastSync()
+
+		if cfg.requestActive() {
+			requestLocalProxies(h, state)
+		}
+		if fr != nil {
+			// Carry still-undecided proxies into the next round's frontier
+			// and count the undecided masters from it.
+			h.ParForActive(fr, func(_ int, n graph.NodeID) {
+				if state.Read(h.HP.GlobalID(n)) == misUndecided {
+					fr.Activate(int(n))
+				}
+			})
+			fr.Advance()
+			remaining.Set(int64(fr.CountRange(0, h.HP.NumMasters)))
+		} else {
+			remaining.Set(0)
+			h.ParForMasters(func(_ int, n graph.NodeID) {
+				if state.Read(h.HP.GlobalID(n)) == misUndecided {
+					remaining.Reduce(1)
+				}
+			})
+		}
 		remaining.Sync(h.EP)
 		if remaining.Read() == 0 || stats.Rounds >= cfg.maxRounds() {
 			break

@@ -105,10 +105,23 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 	var edges runtime.CountReducer
 	var workDone runtime.BoolReducer
 
+	// frP drives the pointer-jumping phases via the parent map's change
+	// activation. frProp is the proposer frontier, managed by the algorithm
+	// itself (works on every backend): a proxy retires permanently once all
+	// its local edges stay inside one component — components only merge, so
+	// a retired proxy can never again propose a crossing edge.
+	frP := cfg.newFrontier(h, parent)
+	var frProp *runtime.Frontier
+	if !cfg.Dense {
+		frProp = runtime.NewFrontier(h.HP.NumLocal())
+		frProp.ActivateAll()
+		frProp.Advance()
+	}
+
 	for {
 		stats.Rounds++
 		// 1. Collapse parent chains so parents are component roots.
-		ccShortcut(h, cfg, parent)
+		ccShortcut(h, cfg, parent, frP, nil, nil)
 
 		// 2. Fresh candidate map, masters initialized to the identity.
 		cand := npm.New(npm.Options[MinEdge]{
@@ -127,24 +140,37 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 		if cfg.requestActive() {
 			requestLocalProxies(h, parent)
 		}
-		h.TimeCompute(func() {
-			local := h.HP.Local
-			h.ParForNodes(func(tid int, n graph.NodeID) {
-				gid := h.HP.GlobalID(n)
-				rs := parent.Read(gid)
-				lo, hi := local.EdgeRange(n)
-				for e := lo; e < hi; e++ {
-					dgid := h.HP.GlobalID(local.Dst(e))
-					rd := parent.Read(dgid)
-					if rs == rd {
-						continue
-					}
-					edge := MinEdge{W: local.Weight(e), A: min(gid, dgid), B: max(gid, dgid)}
-					cand.Reduce(tid, rs, edge)
+		local := h.HP.Local
+		propBody := func(tid int, n graph.NodeID) {
+			gid := h.HP.GlobalID(n)
+			rs := parent.Read(gid)
+			crossing := false
+			lo, hi := local.EdgeRange(n)
+			for e := lo; e < hi; e++ {
+				dgid := h.HP.GlobalID(local.Dst(e))
+				rd := parent.Read(dgid)
+				if rs == rd {
+					continue
 				}
-			})
+				crossing = true
+				edge := MinEdge{W: local.Weight(e), A: min(gid, dgid), B: max(gid, dgid)}
+				cand.Reduce(tid, rs, edge)
+			}
+			if crossing && frProp != nil {
+				frProp.Activate(int(n))
+			}
+		}
+		h.TimeCompute(func() {
+			if frProp != nil {
+				h.ParForActive(frProp, propBody)
+			} else {
+				h.ParForNodes(propBody)
+			}
 		})
 		cand.ReduceSync()
+		if frProp != nil {
+			frProp.Advance()
+		}
 
 		// 4a. Request phase: roots need the parents of their candidate
 		// edge's endpoints (arbitrary nodes).
@@ -222,7 +248,7 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 	}
 
 	// Final collapse so labels are roots, then collect.
-	ccShortcut(h, cfg, parent)
+	ccShortcut(h, cfg, parent, frP, nil, nil)
 	weight.Sync(h.EP)
 	edges.Sync(h.EP)
 	stats.TotalWeight = weight.Read()

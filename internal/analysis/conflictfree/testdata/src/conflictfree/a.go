@@ -3,7 +3,11 @@
 // statically resolvable call.
 package conflictfree
 
-import "sync"
+import (
+	"sync"
+
+	"kimbap/internal/runtime"
+)
 
 type store struct {
 	mu   sync.Mutex
@@ -55,4 +59,32 @@ func (s *store) reduceViaCounting(u int, x float64) { // want `store.reduceViaCo
 // Unannotated functions may lock freely.
 func (s *store) applySync(u int, x float64) {
 	s.reduceLocked(u, x)
+}
+
+// Frontier activation from a reduce path: runtime.Frontier.Activate is one
+// atomic fetch-or, and the analyzer proves it (chasing the real call chain
+// through Bitset.Set into sync/atomic, which is assumed clean).
+//
+//kimbap:conflictfree
+func reduceAndActivate(s *store, fr *runtime.Frontier, u int, x float64) {
+	s.vals[u] += x
+	fr.Activate(u)
+}
+
+// A mutex-guarded activation wrapper breaks the guarantee.
+type lockedFrontier struct {
+	mu sync.Mutex
+	fr *runtime.Frontier
+}
+
+func (l *lockedFrontier) activate(i int) {
+	l.mu.Lock()
+	l.fr.Activate(i)
+	l.mu.Unlock()
+}
+
+//kimbap:conflictfree
+func reduceAndActivateLocked(s *store, l *lockedFrontier, u int, x float64) { // want `reduceAndActivateLocked -> lockedFrontier.activate -> Mutex.Lock`
+	s.vals[u] += x
+	l.activate(u)
 }

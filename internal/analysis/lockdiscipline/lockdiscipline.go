@@ -10,6 +10,11 @@
 //     The BSP exchange protocol requires every host to keep draining its
 //     peers; a host that parks on a channel while holding a shard lock
 //     that a worker thread needs can deadlock the whole cluster.
+//     Worker-pool dispatches (runtime.ParFor and its ParForNodes /
+//     ParForMasters / ParForActive wrappers) count as blocking for the
+//     same reason: the caller parks until every worker finishes, so a
+//     worker iteration that needs the caller's shard lock deadlocks the
+//     host.
 //
 // The analysis is structured (per-function, branch-sensitive, loop bodies
 // must preserve lock state) rather than CFG-complete: functions using goto
@@ -380,6 +385,8 @@ func (fa *funcAnalysis) call(call *ast.CallExpr) {
 	default:
 		if fa.isCommCall(sel) {
 			fa.blockingOp(call.Pos(), fmt.Sprintf("comm.%s call", name))
+		} else if fa.isParForCall(sel) {
+			fa.blockingOp(call.Pos(), fmt.Sprintf("runtime.%s call", name))
 		}
 	}
 }
@@ -427,6 +434,23 @@ func (fa *funcAnalysis) isCommCall(sel *ast.SelectorExpr) bool {
 		return true
 	}
 	return strings.HasPrefix(fn.Name(), "AllReduce")
+}
+
+// isParForCall reports whether sel names a worker-pool dispatch from
+// kimbap/internal/runtime. The ParFor family parks the calling goroutine
+// until every worker finishes its chunk, so it blocks exactly like a
+// channel receive; Frontier methods (Activate, Advance) are plain atomics
+// and are not flagged.
+func (fa *funcAnalysis) isParForCall(sel *ast.SelectorExpr) bool {
+	fn, ok := fa.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/runtime") {
+		return false
+	}
+	switch fn.Name() {
+	case "ParFor", "ParForNodes", "ParForMasters", "ParForActive":
+		return true
+	}
+	return false
 }
 
 // mutexKey renders the receiver of a Lock-family selector as a stable key,

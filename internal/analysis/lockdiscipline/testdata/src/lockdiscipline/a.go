@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"kimbap/internal/comm"
+	"kimbap/internal/graph"
+	"kimbap/internal/runtime"
 )
 
 type shard struct {
@@ -129,6 +131,36 @@ func lockHeldAcrossIterations(shards []shard) {
 	for i := range shards { // want `lock state changes across loop iteration`
 		shards[i].mu.Lock()
 	}
+}
+
+// Worker-pool dispatches park the caller until every worker finishes, so
+// holding a shard lock across one deadlocks any worker that needs it.
+func parForWhileLocked(sh *shard, h *runtime.Host) {
+	sh.mu.Lock()
+	h.ParFor(64, func(tid, i int) {}) // want `runtime.ParFor call while holding sh.mu`
+	sh.mu.Unlock()
+}
+
+func parForActiveWhileDeferLocked(sh *shard, h *runtime.Host, fr *runtime.Frontier) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h.ParForActive(fr, func(tid int, node graph.NodeID) {}) // want `runtime.ParForActive call while holding sh.mu`
+}
+
+// Frontier activation is one atomic fetch-or: it never blocks, so marking
+// a vertex active inside a locked region is fine.
+func activateWhileLocked(sh *shard, fr *runtime.Frontier, k, v int) {
+	sh.mu.Lock()
+	sh.m[k] = v
+	fr.Activate(k)
+	sh.mu.Unlock()
+}
+
+func parForNodesAfterUnlock(sh *shard, h *runtime.Host, k, v int) {
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+	h.ParForNodes(func(tid int, node graph.NodeID) {})
 }
 
 // The conflict-counting acquire wrapper intentionally returns holding

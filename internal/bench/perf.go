@@ -42,6 +42,13 @@ type PerfRecord struct {
 	// replaced, if that file had a matching record — the before half of
 	// the before/after comparison.
 	PrevNsPerOp float64 `json:"prev_ns_per_op,omitempty"`
+	// Per-BSP-round activity for the round-logged experiments, one entry
+	// per round in execution order, summed across hosts: local vertices
+	// visited, reduce-sync bytes sent, and whether the round was a
+	// hook/propagate round (as opposed to a pointer-jumping shortcut).
+	RoundActive      []int64 `json:"round_active,omitempty"`
+	RoundReduceBytes []int64 `json:"round_reduce_bytes,omitempty"`
+	RoundHook        []bool  `json:"round_hook,omitempty"`
 }
 
 // perfFile is the on-disk shape of BENCH_kimbap.json.
@@ -67,7 +74,10 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 		c.syncPerf("reduce_sync_sgrcf", npm.SGRCF, 8, false),
 		c.syncPerf("reduce_sync_sgronly", npm.SGROnly, 8, false),
 		c.syncPerf("reduce_broadcast_full", npm.Full, 8, true),
-		c.ccPerf("cc_sv_full", npm.Full, 4),
+		c.ccPerf("cc_sv_full", npm.Full, 4, false),
+		c.ccPerf("cc_sv_full", npm.Full, 8, false),
+		c.ccPerf("cc_sv_full_dense", npm.Full, 8, true),
+		c.ccPerf("cc_sv_full_sparse", npm.Full, 8, false),
 	}
 
 	if jsonPath != "" {
@@ -105,6 +115,19 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 		}
 	}
 	bt.Fprint(w)
+
+	rt := NewTable("Per-round activity (cluster-wide)",
+		"name", "hosts", "round", "kind", "active", "reduce bytes")
+	for _, r := range records {
+		for i := range r.RoundActive {
+			kind := "shortcut"
+			if r.RoundHook[i] {
+				kind = "hook"
+			}
+			rt.Row(r.Name, r.Hosts, i, kind, r.RoundActive[i], r.RoundReduceBytes[i])
+		}
+	}
+	rt.Fprint(w)
 	return nil
 }
 
@@ -239,8 +262,9 @@ func (c Config) syncPerf(name string, variant npm.Variant, hosts int, pin bool) 
 	return rec
 }
 
-// ccPerf measures one end-to-end CC-SV run (op = the whole computation).
-func (c Config) ccPerf(name string, variant npm.Variant, hosts int) PerfRecord {
+// ccPerf measures one end-to-end CC-SV run (op = the whole computation),
+// dense or frontier-driven, and records the per-round activity log.
+func (c Config) ccPerf(name string, variant npm.Variant, hosts int, dense bool) PerfRecord {
 	g, _ := c.perfGraph()
 	rec := PerfRecord{Name: name, Hosts: hosts, Threads: c.Threads}
 	best := time.Duration(-1)
@@ -252,12 +276,14 @@ func (c Config) ccPerf(name string, variant npm.Variant, hosts int) PerfRecord {
 			panic(err)
 		}
 		out := make([]graph.NodeID, g.NumNodes())
+		perHost := make([]algorithms.CCStats, hosts)
 		cw := npm.BeginConflictWindow()
 		var ms0, ms1 gort.MemStats
 		gort.ReadMemStats(&ms0)
 		start := time.Now()
 		cluster.Run(func(h *runtime.Host) {
-			algorithms.CCSV(h, algorithms.Config{Variant: variant}, out)
+			perHost[h.Rank] = algorithms.CCSV(h,
+				algorithms.Config{Variant: variant, Dense: dense, LogRounds: true}, out)
 		})
 		wall := time.Since(start)
 		gort.ReadMemStats(&ms1)
@@ -274,7 +300,23 @@ func (c Config) ccPerf(name string, variant npm.Variant, hosts int) PerfRecord {
 				make([]int64, len(tm)), tm, make([]int64, len(tb)), tb, 1)
 			rec.Conflicts = conflicts
 			rec.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
+			rec.RoundActive, rec.RoundReduceBytes, rec.RoundHook = sumRounds(perHost)
 		}
 	}
 	return rec
+}
+
+// sumRounds folds the per-host round logs into cluster-wide totals.
+// Rounds are collective, so every host logs the same sequence length.
+func sumRounds(perHost []algorithms.CCStats) (active, bytes []int64, hook []bool) {
+	rounds := len(perHost[0].PerRound.Active)
+	active = make([]int64, rounds)
+	bytes = make([]int64, rounds)
+	for _, st := range perHost {
+		for r := 0; r < rounds; r++ {
+			active[r] += st.PerRound.Active[r]
+			bytes[r] += st.PerRound.ReduceBytes[r]
+		}
+	}
+	return active, bytes, perHost[0].PerRound.Hook
 }

@@ -2,6 +2,7 @@ package npm
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync/atomic"
 
@@ -56,11 +57,24 @@ type fullMap[V comparable] struct {
 	// ReduceSync/BroadcastSync rounds allocate nothing (see the comm
 	// package's buffer-ownership contract).
 	cells     [][][][]byte // [tid][dest][receiver gather thread] encoded entries
+	cellN     [][][]int    // [tid][dest][rt] entry counts, for the v2s form choice
 	sendBufs  [2][][]byte  // per-dest reduce payloads, double-buffered
 	sendGen   int
 	bcastBufs [2][][]byte // per-dest broadcast payloads, double-buffered
 	bcastGen  int
 	recvIn    [][]byte // receive slice for the exchanges (one round at a time)
+
+	// Scratch for assembling one v2s dense-form section at a time
+	// (reducePayload runs destinations sequentially): a bitmap over the
+	// section's key range and value slots indexed by base-relative key.
+	denseMask []byte
+	denseVals []byte
+
+	// frontier, when attached via SetFrontier, receives next-round
+	// activations for every local proxy whose value changes during a sync
+	// phase: masters from applyToMaster, pinned mirrors from broadcast
+	// decode. Activation is one atomic bit set (conflict free).
+	frontier *runtime.Frontier
 
 	// Encode state for the overlapped scatter (comm.ExchangeFunc): the
 	// closures are bound once at construction so hot rounds allocate
@@ -115,10 +129,13 @@ func newFullMap[V comparable](opts Options[V]) *fullMap[V] {
 	}
 	numHosts := h.HP.NumHosts()
 	m.cells = make([][][][]byte, h.Threads)
+	m.cellN = make([][][]int, h.Threads)
 	for t := range m.cells {
 		m.cells[t] = make([][][]byte, numHosts)
+		m.cellN[t] = make([][]int, numHosts)
 		for o := range m.cells[t] {
 			m.cells[t][o] = make([][]byte, h.Threads)
+			m.cellN[t][o] = make([]int, h.Threads)
 		}
 	}
 	for g := range m.sendBufs {
@@ -129,6 +146,7 @@ func newFullMap[V comparable](opts Options[V]) *fullMap[V] {
 	m.destLo = make([]graph.NodeID, numHosts)
 	m.destN = make([]uint64, numHosts)
 	m.secBase = make([][]uint64, numHosts)
+	maxRange := uint64(0)
 	for o := 0; o < numHosts; o++ {
 		olo, ohi := h.HP.MasterRangeOf(o)
 		m.destLo[o] = olo
@@ -137,9 +155,26 @@ func newFullMap[V comparable](opts Options[V]) *fullMap[V] {
 		for rt := range m.secBase[o] {
 			m.secBase[o][rt] = sectionLo(rt, uint64(h.Threads), m.destN[o])
 		}
+		for rt := 0; rt < h.Threads; rt++ {
+			end := m.destN[o]
+			if rt+1 < h.Threads {
+				end = m.secBase[o][rt+1]
+			}
+			if r := end - m.secBase[o][rt]; r > maxRange {
+				maxRange = r
+			}
+		}
 	}
+	m.denseMask = make([]byte, (maxRange+7)/8)
+	m.denseVals = make([]byte, maxRange*uint64(m.codec.Size()))
 	return m
 }
+
+// SetFrontier attaches a frontier whose *next* set receives an activation
+// for every local proxy whose value changes during ReduceSync (masters) or
+// a broadcast (pinned mirrors). Activations index the host-local ID space:
+// masters at [0, NumMasters), mirrors above. Pass nil to detach.
+func (m *fullMap[V]) SetFrontier(f *runtime.Frontier) { m.frontier = f }
 
 // Read implements Map.
 func (m *fullMap[V]) Read(n graph.NodeID) V {
@@ -347,9 +382,11 @@ func (m *fullMap[V]) ReduceSync() {
 				})
 			}
 			cells := m.cells[t]
+			counts := m.cellN[t]
 			for o := range cells {
 				for rt := range cells[o] {
 					cells[o][rt] = cells[o][rt][:0]
+					counts[o][rt] = 0
 				}
 			}
 			wireV2 := m.wire == comm.WireV2
@@ -371,6 +408,7 @@ func (m *fullMap[V]) ReduceSync() {
 					buf = comm.AppendUint32(cells[o][rt], uint32(k))
 				}
 				cells[o][rt] = m.codec.Append(buf, v)
+				counts[o][rt]++
 			})
 		})
 		for _, t := range m.tl {
@@ -400,8 +438,11 @@ func (m *fullMap[V]) ReduceSync() {
 				if o == self || len(in[o]) == 0 {
 					continue
 				}
-				sec, v2 := reduceSection(in[o], t, threads)
-				if v2 {
+				sec, kind := reduceSection(in[o], t, threads)
+				switch kind {
+				case secV2S:
+					m.decodeSectionV2S(sec, base)
+				case secV2:
 					for len(sec) > 0 {
 						var d uint64
 						d, sec = comm.ReadUvarint(sec)
@@ -409,7 +450,7 @@ func (m *fullMap[V]) ReduceSync() {
 						v, sec = m.codec.Read(sec)
 						m.applyToMaster(base+graph.NodeID(d), v)
 					}
-				} else {
+				default:
 					for len(sec) > 0 {
 						var id uint32
 						id, sec = comm.ReadUint32(sec)
@@ -428,11 +469,13 @@ func (m *fullMap[V]) ReduceSync() {
 }
 
 // reducePayload assembles the reduce payload for destination o from the
-// combine threads' cells: a 1-byte wire tag, `threads` section byte-lengths
-// (uint32 in v1, uvarint in v2), then the sections in the receiver's
-// gather-thread order (each section concatenates the combine threads' cells
-// for that gather thread). A round with nothing for o returns an empty
-// payload, eliding tag and header. Called by ExchangeFunc once per
+// combine threads' cells. v1 frames a 1-byte tag, `threads` uint32 section
+// lengths, then the sections in the receiver's gather-thread order (each
+// section concatenates the combine threads' cells for that gather thread).
+// v2-configured maps emit the v2s frame instead (see wire.go): a present
+// bitmap skips empty sections, and each present section picks the smaller
+// of the sparse and dense body forms. A round with nothing for o returns an
+// empty payload, eliding tag and header. Called by ExchangeFunc once per
 // destination, immediately before that destination's Send.
 func (m *fullMap[V]) reducePayload(o int) []byte {
 	threads := m.h.Threads
@@ -448,16 +491,7 @@ func (m *fullMap[V]) reducePayload(o int) []byte {
 		out[o] = buf
 		return buf
 	}
-	if m.wire == comm.WireV2 {
-		buf = append(buf, wireV2)
-		for rt := 0; rt < threads; rt++ {
-			sec := 0
-			for t := 0; t < threads; t++ {
-				sec += len(m.cells[t][o][rt])
-			}
-			buf = comm.AppendUvarint(buf, uint64(sec))
-		}
-	} else {
+	if m.wire != comm.WireV2 {
 		buf = append(buf, wireV1)
 		for rt := 0; rt < threads; rt++ {
 			sec := 0
@@ -466,14 +500,141 @@ func (m *fullMap[V]) reducePayload(o int) []byte {
 			}
 			buf = comm.AppendUint32(buf, uint32(sec))
 		}
+		for rt := 0; rt < threads; rt++ {
+			for t := 0; t < threads; t++ {
+				buf = append(buf, m.cells[t][o][rt]...)
+			}
+		}
+		out[o] = buf
+		return buf
+	}
+
+	// v2s. Header first: the present bitmap, then one uvarint body length
+	// per present section in ascending rt order. Both the length and the
+	// sparse/dense choice are recomputed identically in the body loop; both
+	// are deterministic functions of the (order-independent) per-section
+	// entry count and byte size, so payload sizes are stable across runs.
+	vs := m.codec.Size()
+	buf = append(buf, wireV2S)
+	pm := len(buf)
+	for i := 0; i < (threads+7)/8; i++ {
+		buf = append(buf, 0)
 	}
 	for rt := 0; rt < threads; rt++ {
+		n, secBytes := 0, 0
 		for t := 0; t < threads; t++ {
-			buf = append(buf, m.cells[t][o][rt]...)
+			n += m.cellN[t][o][rt]
+			secBytes += len(m.cells[t][o][rt])
+		}
+		if n == 0 {
+			continue
+		}
+		buf[pm+rt/8] |= 1 << (uint(rt) % 8)
+		sparseLen, denseLen, _ := m.sectionForms(o, rt, n, secBytes, vs)
+		body := sparseLen
+		if denseLen < sparseLen {
+			body = denseLen
+		}
+		buf = comm.AppendUvarint(buf, uint64(1+body))
+	}
+	for rt := 0; rt < threads; rt++ {
+		n, secBytes := 0, 0
+		for t := 0; t < threads; t++ {
+			n += m.cellN[t][o][rt]
+			secBytes += len(m.cells[t][o][rt])
+		}
+		if n == 0 {
+			continue
+		}
+		sparseLen, denseLen, mb := m.sectionForms(o, rt, n, secBytes, vs)
+		if sparseLen <= denseLen {
+			buf = append(buf, sectionSparse)
+			buf = comm.AppendUvarint(buf, uint64(n))
+			for t := 0; t < threads; t++ {
+				buf = append(buf, m.cells[t][o][rt]...)
+			}
+			continue
+		}
+		// Dense: scatter the unsorted cells into value slots indexed by
+		// base-relative key, then emit the bitmap and the occupied slots in
+		// ascending key order.
+		buf = append(buf, sectionDense)
+		buf = comm.AppendUvarint(buf, uint64(mb))
+		mask := m.denseMask[:mb]
+		for i := range mask {
+			mask[i] = 0
+		}
+		for t := 0; t < threads; t++ {
+			sec := m.cells[t][o][rt]
+			for len(sec) > 0 {
+				var d uint64
+				d, sec = comm.ReadUvarint(sec)
+				copy(m.denseVals[int(d)*vs:], sec[:vs])
+				sec = sec[vs:]
+				mask[d/8] |= 1 << (uint(d) % 8)
+			}
+		}
+		buf = append(buf, mask...)
+		for bi, mbyte := range mask {
+			for mbyte != 0 {
+				d := bi*8 + bits.TrailingZeros8(mbyte)
+				mbyte &= mbyte - 1
+				buf = append(buf, m.denseVals[d*vs:(d+1)*vs]...)
+			}
 		}
 	}
 	out[o] = buf
 	return buf
+}
+
+// sectionForms returns the encoded body sizes (excluding the form byte) of
+// the sparse and dense forms for section (o, rt), plus the dense bitmap
+// length. n is the entry count, secBytes the total cell bytes (uvarint keys
+// + values), vs the value width.
+func (m *fullMap[V]) sectionForms(o, rt, n, secBytes, vs int) (sparseLen, denseLen, mb int) {
+	end := m.destN[o]
+	if rt+1 < m.h.Threads {
+		end = m.secBase[o][rt+1]
+	}
+	mb = int(end-m.secBase[o][rt]+7) / 8
+	sparseLen = uvLen(uint64(n)) + secBytes
+	denseLen = uvLen(uint64(mb)) + mb + n*vs
+	return sparseLen, denseLen, mb
+}
+
+// decodeSectionV2S decodes one v2s section addressed to this gather thread
+// and applies its entries to the master range starting at base.
+func (m *fullMap[V]) decodeSectionV2S(sec []byte, base graph.NodeID) {
+	if len(sec) == 0 {
+		return
+	}
+	form := sec[0]
+	sec = sec[1:]
+	if form == sectionSparse {
+		var n uint64
+		n, sec = comm.ReadUvarint(sec)
+		for i := uint64(0); i < n; i++ {
+			var d uint64
+			d, sec = comm.ReadUvarint(sec)
+			var v V
+			v, sec = m.codec.Read(sec)
+			m.applyToMaster(base+graph.NodeID(d), v)
+		}
+		return
+	}
+	var mb uint64
+	mb, sec = comm.ReadUvarint(sec)
+	mask := sec[:mb]
+	sec = sec[mb:]
+	for bi, mbyte := range mask {
+		for mbyte != 0 {
+			d := bi*8 + bits.TrailingZeros8(mbyte)
+			mbyte &= mbyte - 1
+			var v V
+			v, sec = m.codec.Read(sec)
+			m.applyToMaster(base+graph.NodeID(d), v)
+		}
+	}
 }
 
 // applyToMaster merges v into the canonical master value, tracking change
@@ -489,6 +650,12 @@ func (m *fullMap[V]) applyToMaster(k graph.NodeID, v V) {
 		m.masters[i] = nv
 		m.updated.Store(true)
 		m.masterDirty.Set(int(i))
+		if m.frontier != nil {
+			// Master local IDs coincide with master-range offsets, so i is
+			// the frontier index. Only effective reduces activate: an input
+			// that cannot change the value cannot seed further change.
+			m.frontier.Activate(int(i))
+		}
 	}
 }
 
@@ -518,11 +685,27 @@ func (m *fullMap[V]) broadcast(full bool) {
 		m.masterDirty.Clear()
 
 		for o := 0; o < numHosts; o++ {
-			if o == self {
+			if o == self || len(in[o]) == 0 {
 				continue
 			}
 			list := m.hp.MirrorsByOwner[o]
 			payload := in[o]
+			form := payload[0]
+			payload = payload[1:]
+			if form == sectionSparse {
+				var n uint64
+				n, payload = comm.ReadUvarint(payload)
+				idx := uint64(0)
+				for j := uint64(0); j < n; j++ {
+					var d uint64
+					d, payload = comm.ReadUvarint(payload)
+					idx += d
+					var v V
+					v, payload = m.codec.Read(payload)
+					m.setMirror(list[idx], v)
+				}
+				continue
+			}
 			maskLen := (len(list) + 7) / 8
 			mask := payload[:maskLen]
 			payload = payload[maskLen:]
@@ -530,29 +713,77 @@ func (m *fullMap[V]) broadcast(full bool) {
 				if mask[i/8]&(1<<(uint(i)%8)) != 0 {
 					var v V
 					v, payload = m.codec.Read(payload)
-					m.mirrors[int(local)-m.hp.NumMasters] = v
+					m.setMirror(local, v)
 				}
 			}
 		}
 	})
 }
 
-// bcastPayload assembles the broadcast payload for destination o: a dirty
-// bitmask over MasterSendTo[o], then the changed values in list order. The
-// format is positional (the mask already says exactly which values follow),
-// so it gains nothing from key compression and is the same in v1 and v2.
-// Called by ExchangeFunc once per destination.
+// setMirror stores a broadcast value into a pinned mirror slot, activating
+// the mirror's frontier bit when the value actually changed. Mirrors by
+// construction belong to disjoint owner lists, so decode loops never race.
+func (m *fullMap[V]) setMirror(local graph.NodeID, v V) {
+	slot := &m.mirrors[int(local)-m.hp.NumMasters]
+	if *slot != v {
+		*slot = v
+		if m.frontier != nil {
+			m.frontier.Activate(int(local))
+		}
+	}
+}
+
+// bcastPayload assembles the broadcast payload for destination o: a form
+// byte, then either the dense positional form (a dirty bitmask over
+// MasterSendTo[o] followed by the changed values in list order) or, when it
+// encodes smaller, the sparse form (uvarint count, then delta-varint list
+// indices each followed by its value). A round with nothing dirty for o
+// returns an empty payload. The form choice is positional metadata only —
+// the same in v1 and v2 — and each payload is self-describing, so mixed
+// rounds interoperate. Called by ExchangeFunc once per destination.
 func (m *fullMap[V]) bcastPayload(o int) []byte {
 	list := m.hp.MasterSendTo[o]
 	maskLen := (len(list) + 7) / 8
 	out := m.bcastOut
 	buf := out[o][:0]
+	// First pass: count dirty entries and size the sparse index stream.
+	n, idxBytes, prev := 0, 0, 0
+	if m.bcastFull {
+		n = len(list)
+	} else {
+		for i, local := range list {
+			if m.masterDirty.Test(int(local)) {
+				idxBytes += uvLen(uint64(i - prev))
+				prev = i
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		out[o] = buf
+		return buf
+	}
+	if !m.bcastFull && uvLen(uint64(n))+idxBytes < maskLen {
+		buf = append(buf, sectionSparse)
+		buf = comm.AppendUvarint(buf, uint64(n))
+		prev = 0
+		for i, local := range list {
+			if m.masterDirty.Test(int(local)) {
+				buf = comm.AppendUvarint(buf, uint64(i-prev))
+				prev = i
+				buf = m.codec.Append(buf, m.masters[local])
+			}
+		}
+		out[o] = buf
+		return buf
+	}
+	buf = append(buf, sectionDense)
 	for i := 0; i < maskLen; i++ {
 		buf = append(buf, 0)
 	}
 	for i, local := range list {
 		if m.bcastFull || m.masterDirty.Test(int(local)) {
-			buf[i/8] |= 1 << (uint(i) % 8)
+			buf[1+i/8] |= 1 << (uint(i) % 8)
 			buf = m.codec.Append(buf, m.masters[local])
 		}
 	}
@@ -561,21 +792,28 @@ func (m *fullMap[V]) bcastPayload(o int) []byte {
 }
 
 // PinMirrors implements Map: materialize mirrors and fill them with a full
-// broadcast.
+// broadcast. The mirror array is kept across unpin/pin cycles: besides
+// saving the allocation, the stale values are exactly the mirrors' state at
+// the last unpin, so the refresh broadcast's change detection (setMirror)
+// activates the frontier only for mirrors whose master actually changed in
+// between — the signal phase-seeded frontiers (ccHook) rely on.
 func (m *fullMap[V]) PinMirrors() {
 	if m.pinned {
 		return
 	}
-	m.mirrors = make([]V, m.hp.NumMirrors())
+	if m.mirrors == nil {
+		m.mirrors = make([]V, m.hp.NumMirrors())
+	}
 	m.masterDirty.Clear()
 	m.pinned = true
 	m.broadcast(true)
 }
 
-// UnpinMirrors implements Map.
+// UnpinMirrors implements Map. Reads of non-masters while unpinned go
+// through the request cache (m.pinned guards every mirror access), so the
+// retained array can never serve stale values.
 func (m *fullMap[V]) UnpinMirrors() {
 	m.pinned = false
-	m.mirrors = nil
 }
 
 // ResetUpdated implements Map.

@@ -407,8 +407,8 @@ func (m *hashMap[V]) ReduceSync() {
 				if o == self || len(in[o]) == 0 {
 					continue
 				}
-				sec, v2 := reduceSection(in[o], t, threads)
-				if v2 {
+				sec, kind := reduceSection(in[o], t, threads)
+				if kind == secV2 {
 					for len(sec) > 0 {
 						var d uint64
 						d, sec = comm.ReadUvarint(sec)

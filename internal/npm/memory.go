@@ -70,6 +70,16 @@ func (m *fullMap[V]) MemoryFootprint() int64 {
 			total += int64(cap(b))
 		}
 	}
+	// Frontier bitsets and the v2s sparse/dense section scratch.
+	if m.frontier != nil {
+		total += m.frontier.MemoryFootprint()
+	}
+	total += int64(cap(m.denseMask)) + int64(cap(m.denseVals))
+	for _, perTid := range m.cellN {
+		for _, perDest := range perTid {
+			total += int64(len(perDest)) * 8
+		}
+	}
 	return total
 }
 

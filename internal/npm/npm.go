@@ -129,6 +129,16 @@ type Map[V comparable] interface {
 	ReadStats() (master, remote int64)
 }
 
+// FrontierSink is implemented by map variants that can drive frontier
+// activation from their sync phases: after attaching a frontier, every
+// local proxy (master or pinned mirror) whose value changes during
+// ReduceSync or a broadcast is activated in the frontier's next set.
+// Frontier-driven algorithms type-assert for it and fall back to dense
+// rounds when the variant does not implement it.
+type FrontierSink interface {
+	SetFrontier(f *runtime.Frontier)
+}
+
 // Options configure map construction.
 type Options[V comparable] struct {
 	// Host is the constructing host's runtime context.

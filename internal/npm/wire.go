@@ -2,6 +2,7 @@ package npm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"kimbap/internal/comm"
 	"kimbap/internal/graph"
@@ -23,9 +24,35 @@ import (
 // deltas are order independent, which also keeps the encoded size (and
 // hence the comm_bytes the bench gate pins) deterministic across runs.
 // Values stay fixed width in both formats.
+// v2s is the frontier-era extension of v2 for reduce payloads: empty
+// sections are skipped entirely (a present-bitmap replaces the fixed
+// lengths header) and every section carries a 1-byte form marker choosing,
+// by encoded size, between a sparse body (uvarint entry count, then
+// base-relative uvarint keys with values, order independent like v2) and a
+// dense body (a bitmap over the section's key range with values in
+// ascending key order). Late sparse rounds send a few sparse sections and
+// nothing else; early dense rounds collapse per-key varints into one bit
+// each. Negotiation stays per payload: receivers switch on the tag, so
+// v1/v2/v2s senders coexist in one cluster.
 const (
-	wireV1 byte = 1
-	wireV2 byte = 2
+	wireV1  byte = 1
+	wireV2  byte = 2
+	wireV2S byte = 3
+)
+
+// Section body forms inside a v2s payload.
+const (
+	sectionSparse byte = 0 // [uvarint count][count x (uvarint key-rel, value)]
+	sectionDense  byte = 1 // [uvarint maskBytes][mask][values, ascending key]
+)
+
+// sectionKind tells a gather thread how to decode its extracted section.
+type sectionKind byte
+
+const (
+	secV1 sectionKind = iota
+	secV2
+	secV2S
 )
 
 // resolveWire maps a map-level wire option to a concrete format: an unset
@@ -41,12 +68,14 @@ func resolveWire(opt, clusterDefault comm.WireFormat) comm.WireFormat {
 }
 
 // reduceSection extracts gather thread t's section from a non-empty tagged
-// reduce payload (`[tag][threads section lengths][sections]`; lengths are
-// uint32 in v1, uvarint in v2). It reports whether the payload is v2, which
-// decides how the section's keys decode. Payloads come from peer hosts in
-// the same process, so malformed input panics; the fuzz target exercises
-// reduceSectionChecked instead.
-func reduceSection(payload []byte, t, threads int) (sec []byte, v2 bool) {
+// reduce payload. v1 frames `[tag][threads uint32 lengths][sections]`, v2
+// `[tag][threads uvarint lengths][sections]`, and v2s
+// `[tag][present bitmap][uvarint lengths, present sections only][sections]`
+// where absent sections decode as empty. The returned kind decides how the
+// section's bytes decode (v2s sections start with their form byte).
+// Payloads come from peer hosts in the same process, so malformed input
+// panics; the fuzz target exercises reduceSectionChecked instead.
+func reduceSection(payload []byte, t, threads int) (sec []byte, kind sectionKind) {
 	switch payload[0] {
 	case wireV1:
 		b := payload[1:]
@@ -56,7 +85,7 @@ func reduceSection(payload []byte, t, threads int) (sec []byte, v2 bool) {
 			off += int(u)
 		}
 		n, _ := comm.ReadUint32(b[4*t:])
-		return b[off : off+int(n)], false
+		return b[off : off+int(n)], secV1
 	case wireV2:
 		b := payload[1:]
 		var before, secLen uint64
@@ -69,7 +98,28 @@ func reduceSection(payload []byte, t, threads int) (sec []byte, v2 bool) {
 				secLen = ln
 			}
 		}
-		return b[before : before+secLen], true
+		return b[before : before+secLen], secV2
+	case wireV2S:
+		maskLen := (threads + 7) / 8
+		present := payload[1 : 1+maskLen]
+		if present[t/8]&(1<<(uint(t)%8)) == 0 {
+			return nil, secV2S
+		}
+		b := payload[1+maskLen:]
+		var before, secLen uint64
+		for rt := 0; rt < threads; rt++ {
+			if present[rt/8]&(1<<(uint(rt)%8)) == 0 {
+				continue
+			}
+			var ln uint64
+			ln, b = comm.ReadUvarint(b)
+			if rt < t {
+				before += ln
+			} else if rt == t {
+				secLen = ln
+			}
+		}
+		return b[before : before+secLen], secV2S
 	default:
 		panic(fmt.Sprintf("npm: unknown wire format tag %d", payload[0]))
 	}
@@ -79,15 +129,15 @@ func reduceSection(payload []byte, t, threads int) (sec []byte, v2 bool) {
 // malformed input (unknown tag, truncated header, lengths past the end)
 // instead of panicking. The decoder fuzz target uses it to prove the
 // trusted decoder's bounds arithmetic never reads out of range.
-func reduceSectionChecked(payload []byte, t, threads int) (sec []byte, v2, ok bool) {
+func reduceSectionChecked(payload []byte, t, threads int) (sec []byte, kind sectionKind, ok bool) {
 	if t < 0 || t >= threads || len(payload) == 0 {
-		return nil, false, false
+		return nil, 0, false
 	}
 	switch payload[0] {
 	case wireV1:
 		b := payload[1:]
 		if len(b) < 4*threads {
-			return nil, false, false
+			return nil, 0, false
 		}
 		off := uint64(4 * threads)
 		var secLen uint64
@@ -100,17 +150,17 @@ func reduceSectionChecked(payload []byte, t, threads int) (sec []byte, v2, ok bo
 				secLen = uint64(u)
 			}
 			if off > total || off+secLen > total {
-				return nil, false, false
+				return nil, 0, false
 			}
 		}
-		return b[off : off+secLen], false, true
+		return b[off : off+secLen], secV1, true
 	case wireV2:
 		b := payload[1:]
 		var before, secLen uint64
 		for rt := 0; rt < threads; rt++ {
 			ln, rest, lok := comm.ReadUvarintChecked(b)
 			if !lok {
-				return nil, false, false
+				return nil, 0, false
 			}
 			b = rest
 			if rt < t {
@@ -120,19 +170,56 @@ func reduceSectionChecked(payload []byte, t, threads int) (sec []byte, v2, ok bo
 			}
 		}
 		if before > uint64(len(b)) || before+secLen > uint64(len(b)) {
-			return nil, false, false
+			return nil, 0, false
 		}
-		return b[before : before+secLen], true, true
+		return b[before : before+secLen], secV2, true
+	case wireV2S:
+		maskLen := (threads + 7) / 8
+		if len(payload) < 1+maskLen {
+			return nil, 0, false
+		}
+		present := payload[1 : 1+maskLen]
+		b := payload[1+maskLen:]
+		if present[t/8]&(1<<(uint(t)%8)) == 0 {
+			// Absent section: still walk the lengths so a payload with
+			// lengths past the end is rejected, not silently accepted.
+			t = -1
+		}
+		var before, secLen uint64
+		for rt := 0; rt < threads; rt++ {
+			if present[rt/8]&(1<<(uint(rt)%8)) == 0 {
+				continue
+			}
+			ln, rest, lok := comm.ReadUvarintChecked(b)
+			if !lok {
+				return nil, 0, false
+			}
+			b = rest
+			if rt < t {
+				before += ln
+			} else if rt == t {
+				secLen = ln
+			}
+		}
+		if before > uint64(len(b)) || before+secLen > uint64(len(b)) {
+			return nil, 0, false
+		}
+		return b[before : before+secLen], secV2S, true
 	default:
-		return nil, false, false
+		return nil, 0, false
 	}
 }
 
 // validSectionEntries reports whether sec parses as a whole number of
-// (key, value) entries for the given format and value width.
-func validSectionEntries(sec []byte, v2 bool, valSize int) bool {
+// (key, value) entries for the given format and value width. For v2s it
+// additionally validates the form byte and, for the dense form, that the
+// value bytes match the mask's population count exactly.
+func validSectionEntries(sec []byte, kind sectionKind, valSize int) bool {
+	if kind == secV2S {
+		return validSectionV2S(sec, valSize)
+	}
 	for len(sec) > 0 {
-		if v2 {
+		if kind == secV2 {
 			_, rest, ok := comm.ReadUvarintChecked(sec)
 			if !ok {
 				return false
@@ -150,6 +237,60 @@ func validSectionEntries(sec []byte, v2 bool, valSize int) bool {
 		sec = sec[valSize:]
 	}
 	return true
+}
+
+// validSectionV2S reports whether sec parses as a complete v2s section
+// body: nothing at all (absent section), or a form byte followed by a
+// self-delimiting sparse or dense body with no trailing bytes.
+func validSectionV2S(sec []byte, valSize int) bool {
+	if len(sec) == 0 {
+		return true
+	}
+	switch sec[0] {
+	case sectionSparse:
+		count, rest, ok := comm.ReadUvarintChecked(sec[1:])
+		if !ok {
+			return false
+		}
+		sec = rest
+		for n := uint64(0); n < count; n++ {
+			_, rest, ok := comm.ReadUvarintChecked(sec)
+			if !ok {
+				return false
+			}
+			sec = rest
+			if len(sec) < valSize {
+				return false
+			}
+			sec = sec[valSize:]
+		}
+		return len(sec) == 0
+	case sectionDense:
+		maskBytes, rest, ok := comm.ReadUvarintChecked(sec[1:])
+		if !ok || maskBytes > uint64(len(rest)) {
+			return false
+		}
+		mask := rest[:maskBytes]
+		vals := rest[maskBytes:]
+		pop := 0
+		for _, m := range mask {
+			pop += bits.OnesCount8(m)
+		}
+		return len(vals) == pop*valSize
+	default:
+		return false
+	}
+}
+
+// uvLen returns the encoded length of x as a uvarint, letting encoders size
+// headers without a scratch append.
+func uvLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
 }
 
 // appendIDList encodes a request-ID list (sorted ascending — the request

@@ -30,6 +30,28 @@ func buildReducePayload(wire comm.WireFormat, sections [][]byte) []byte {
 	return buf
 }
 
+// buildReducePayloadV2S frames section bodies (form byte included, empty
+// slice = absent) the way reducePayload's v2s path does.
+func buildReducePayloadV2S(sections [][]byte) []byte {
+	buf := []byte{wireV2S}
+	maskLen := (len(sections) + 7) / 8
+	pm := len(buf)
+	for i := 0; i < maskLen; i++ {
+		buf = append(buf, 0)
+	}
+	for i, sec := range sections {
+		if len(sec) == 0 {
+			continue
+		}
+		buf[pm+i/8] |= 1 << (uint(i) % 8)
+		buf = comm.AppendUvarint(buf, uint64(len(sec)))
+	}
+	for _, sec := range sections {
+		buf = append(buf, sec...)
+	}
+	return buf
+}
+
 func TestReduceSectionRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, wire := range []comm.WireFormat{comm.WireV1, comm.WireV2} {
@@ -44,19 +66,83 @@ func TestReduceSectionRoundTrip(t *testing.T) {
 				sections[i] = sec
 			}
 			payload := buildReducePayload(wire, sections)
+			wantKind := secV1
+			if wire == comm.WireV2 {
+				wantKind = secV2
+			}
 			for ti := 0; ti < threads; ti++ {
-				sec, v2 := reduceSection(payload, ti, threads)
-				if v2 != (wire == comm.WireV2) {
-					t.Fatalf("wire %d: v2 flag = %v", wire, v2)
+				sec, kind := reduceSection(payload, ti, threads)
+				if kind != wantKind {
+					t.Fatalf("wire %d: kind = %v, want %v", wire, kind, wantKind)
 				}
 				if !bytes.Equal(sec, sections[ti]) {
 					t.Fatalf("wire %d threads %d: section %d mismatch", wire, threads, ti)
 				}
-				csec, cv2, ok := reduceSectionChecked(payload, ti, threads)
-				if !ok || cv2 != v2 || !bytes.Equal(csec, sec) {
+				csec, ckind, ok := reduceSectionChecked(payload, ti, threads)
+				if !ok || ckind != kind || !bytes.Equal(csec, sec) {
 					t.Fatalf("wire %d: checked decoder disagrees (ok=%v)", wire, ok)
 				}
 			}
+		}
+	}
+}
+
+func TestReduceSectionV2SRoundTrip(t *testing.T) {
+	// Section bodies as reducePayload emits them: a form byte then a
+	// self-delimiting sparse or dense body; absent sections decode empty.
+	sparse := append([]byte{sectionSparse, 2}, 0x03, 0xaa, 0xbb, 0x05, 0xcc, 0xdd)
+	dense := append([]byte{sectionDense, 1, 0b101}, 0x10, 0x11, 0x20, 0x21)
+	for _, threads := range []int{1, 2, 4, 7, 9} {
+		sections := make([][]byte, threads)
+		for i := range sections {
+			switch i % 3 {
+			case 0:
+				sections[i] = sparse
+			case 1:
+				sections[i] = nil // skipped section
+			default:
+				sections[i] = dense
+			}
+		}
+		payload := buildReducePayloadV2S(sections)
+		for ti := 0; ti < threads; ti++ {
+			sec, kind := reduceSection(payload, ti, threads)
+			if kind != secV2S {
+				t.Fatalf("threads %d: kind = %v, want secV2S", threads, kind)
+			}
+			if !bytes.Equal(sec, sections[ti]) {
+				t.Fatalf("threads %d: section %d mismatch: %x vs %x", threads, ti, sec, sections[ti])
+			}
+			csec, ckind, ok := reduceSectionChecked(payload, ti, threads)
+			if !ok || ckind != secV2S || !bytes.Equal(csec, sec) {
+				t.Fatalf("threads %d: checked decoder disagrees (ok=%v)", threads, ok)
+			}
+			if !validSectionEntries(sec, secV2S, 2) {
+				t.Fatalf("threads %d: section %d rejected by entry validation", threads, ti)
+			}
+		}
+	}
+}
+
+func TestValidSectionV2S(t *testing.T) {
+	cases := map[string]struct {
+		sec     []byte
+		valSize int
+		want    bool
+	}{
+		"absent":             {nil, 4, true},
+		"sparse ok":          {[]byte{sectionSparse, 1, 0x07, 9, 9}, 2, true},
+		"sparse short value": {[]byte{sectionSparse, 1, 0x07, 9}, 2, false},
+		"sparse trailing":    {[]byte{sectionSparse, 1, 0x07, 9, 9, 0}, 2, false},
+		"sparse bad count":   {[]byte{sectionSparse, 9, 0x07, 9, 9}, 2, false},
+		"dense ok":           {[]byte{sectionDense, 1, 0b11, 1, 2, 3, 4}, 2, true},
+		"dense pop mismatch": {[]byte{sectionDense, 1, 0b11, 1, 2, 3}, 2, false},
+		"dense mask past":    {[]byte{sectionDense, 9, 0b11}, 2, false},
+		"unknown form":       {[]byte{7, 0}, 2, false},
+	}
+	for name, c := range cases {
+		if got := validSectionEntries(c.sec, secV2S, c.valSize); got != c.want {
+			t.Errorf("%s: valid = %v, want %v", name, got, c.want)
 		}
 	}
 }
@@ -136,7 +222,7 @@ func TestIDListV2Compression(t *testing.T) {
 	}
 }
 
-// FuzzDecodeSection drives the checked v1/v2 payload decoder with
+// FuzzDecodeSection drives the checked v1/v2/v2s payload decoder with
 // arbitrary bytes: it must never panic or read out of bounds, and whenever
 // it accepts a payload the trusted (panicking) decoder must agree with it
 // byte for byte.
@@ -146,20 +232,29 @@ func FuzzDecodeSection(f *testing.F) {
 	f.Add(buildReducePayload(comm.WireV2, [][]byte{nil, nil, nil, nil}), uint8(4), uint8(3), uint8(8))
 	f.Add([]byte{wireV2, 0xff, 0xff, 0xff, 0xff, 0xff}, uint8(1), uint8(0), uint8(4))
 	f.Add([]byte{}, uint8(1), uint8(0), uint8(4))
+	// v2s seeds: sparse + absent sections, dense bitmap form, and a payload
+	// whose present bitmap promises a section the length header omits.
+	f.Add(buildReducePayloadV2S([][]byte{
+		{sectionSparse, 2, 0x01, 0xaa, 0xbb, 0x04, 0xcc, 0xdd}, nil,
+	}), uint8(2), uint8(0), uint8(2))
+	f.Add(buildReducePayloadV2S([][]byte{
+		nil, {sectionDense, 1, 0b1001, 1, 2, 3, 4}, nil, nil,
+	}), uint8(4), uint8(1), uint8(2))
+	f.Add([]byte{wireV2S, 0b11, 0x05, 0x01}, uint8(2), uint8(1), uint8(4))
 	f.Fuzz(func(t *testing.T, payload []byte, threads, tid, valSize uint8) {
 		th := int(threads)%8 + 1
 		ti := int(tid) % th
 		vs := int(valSize) % 17
-		sec, v2, ok := reduceSectionChecked(payload, ti, th)
+		sec, kind, ok := reduceSectionChecked(payload, ti, th)
 		if !ok {
 			return
 		}
-		tsec, tv2 := reduceSection(payload, ti, th)
-		if tv2 != v2 || !bytes.Equal(tsec, sec) {
-			t.Fatalf("trusted and checked decoders disagree: %v/%v", v2, tv2)
+		tsec, tkind := reduceSection(payload, ti, th)
+		if tkind != kind || !bytes.Equal(tsec, sec) {
+			t.Fatalf("trusted and checked decoders disagree: %v/%v", kind, tkind)
 		}
 		// Entry validation over the section must terminate without panics
 		// whatever it decides.
-		validSectionEntries(sec, v2, vs)
+		validSectionEntries(sec, kind, vs)
 	})
 }

@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"kimbap/internal/graph"
+)
+
+func TestBitsetTrailingWordMasked(t *testing.T) {
+	// A words buffer with stale high bits (as if reused at smaller size)
+	// must never surface phantom indices or over-count.
+	b := NewBitset(70)
+	for i := 0; i < 70; i++ {
+		b.Set(i)
+	}
+	b.words[1].Store(^uint64(0)) // stale bits above position 69
+	if got := b.Count(); got != 70 {
+		t.Fatalf("Count with stale tail bits = %d, want 70", got)
+	}
+	seen := 0
+	b.ForEachSet(func(i int) {
+		if i >= 70 {
+			t.Fatalf("ForEachSet surfaced phantom index %d", i)
+		}
+		seen++
+	})
+	if seen != 70 {
+		t.Fatalf("ForEachSet visited %d bits, want 70", seen)
+	}
+}
+
+func TestBitsetForEachSetFrom(t *testing.T) {
+	b := NewBitset(200)
+	set := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range set {
+		b.Set(i)
+	}
+	for _, start := range []int{-5, 0, 1, 2, 63, 64, 66, 128, 199, 200, 500} {
+		var got []int
+		b.ForEachSetFrom(start, func(i int) { got = append(got, i) })
+		var want []int
+		for _, i := range set {
+			if i >= start {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("start %d: got %v, want %v", start, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("start %d: got %v, want %v", start, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickBitsetRangeOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		size := 1 + rng.Intn(300)
+		b := NewBitset(size)
+		ref := make([]bool, size)
+		for k := 0; k < 3; k++ {
+			lo := rng.Intn(size + 1)
+			hi := lo + rng.Intn(size+1-lo)
+			b.SetRange(lo, hi)
+			for i := lo; i < hi; i++ {
+				ref[i] = true
+			}
+		}
+		for k := 0; k < 5; k++ {
+			lo := rng.Intn(size + 1)
+			hi := lo + rng.Intn(size+1-lo)
+			want := 0
+			for i := lo; i < hi; i++ {
+				if ref[i] {
+					want++
+				}
+			}
+			if got := b.CountRange(lo, hi); got != want {
+				t.Fatalf("size %d CountRange(%d,%d) = %d, want %d", size, lo, hi, got, want)
+			}
+		}
+		wantTotal := 0
+		for _, v := range ref {
+			if v {
+				wantTotal++
+			}
+		}
+		if got := b.Count(); got != wantTotal {
+			t.Fatalf("size %d Count = %d, want %d", size, got, wantTotal)
+		}
+	}
+}
+
+func TestBitsetOrInto(t *testing.T) {
+	a, b := NewBitset(130), NewBitset(130)
+	a.Set(0)
+	a.Set(64)
+	a.Set(129)
+	b.Set(1)
+	b.Set(64)
+	a.OrInto(b)
+	for _, i := range []int{0, 1, 64, 129} {
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after OrInto", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count after OrInto = %d, want 4", b.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OrInto with mismatched sizes did not panic")
+		}
+	}()
+	NewBitset(10).OrInto(NewBitset(11))
+}
+
+func TestFrontierDoubleBuffering(t *testing.T) {
+	f := NewFrontier(100)
+	if f.Count() != 0 {
+		t.Fatal("new frontier not empty")
+	}
+	f.Activate(3)
+	f.Activate(97)
+	if f.Count() != 0 || f.IsActive(3) {
+		t.Fatal("activation visible before Advance")
+	}
+	if n := f.Advance(); n != 2 {
+		t.Fatalf("Advance = %d, want 2", n)
+	}
+	if !f.IsActive(3) || !f.IsActive(97) || f.IsActive(4) {
+		t.Fatal("current set wrong after Advance")
+	}
+	// Activations during a round land in the next set only.
+	f.Activate(50)
+	if f.IsActive(50) {
+		t.Fatal("next-set activation leaked into current set")
+	}
+	if n := f.Advance(); n != 1 || !f.IsActive(50) || f.IsActive(3) {
+		t.Fatalf("second Advance: count %d, active(50)=%v active(3)=%v", n, f.IsActive(50), f.IsActive(3))
+	}
+	f.ActivateRange(10, 20)
+	f.Advance()
+	if f.Count() != 10 || f.CountRange(0, 15) != 5 {
+		t.Fatalf("range activation: count %d, countRange %d", f.Count(), f.CountRange(0, 15))
+	}
+	f.Reset()
+	if f.Count() != 0 {
+		t.Fatal("Reset left active bits")
+	}
+	f.ActivateAll()
+	if n := f.Advance(); n != 100 {
+		t.Fatalf("ActivateAll count = %d, want 100", n)
+	}
+	if f.MemoryFootprint() <= 0 {
+		t.Fatal("MemoryFootprint not positive")
+	}
+}
+
+// ParForActive must visit exactly the current set once, in both the dense
+// (bitset scan) and sparse (compacted index list) regimes, and concurrent
+// Activate calls from the loop body must land in the next set.
+func TestParForActiveDenseAndSparse(t *testing.T) {
+	h := &Host{Threads: 4, pool: newWorkerPool(4)}
+	defer h.pool.close()
+	const n = 1000
+	for _, active := range []int{0, 1, 5, 50, n} { // 5/1000 sparse, 1000/1000 dense
+		f := NewFrontier(n)
+		for i := 0; i < active; i++ {
+			f.Activate(i * (n / max(active, 1)) % n)
+		}
+		f.Advance()
+		var visits [n]atomic.Int32
+		h.ParForActive(f, func(_ int, node graph.NodeID) {
+			visits[node].Add(1)
+			f.Activate(int(node)) // must land in next, not affect this round
+		})
+		got := 0
+		for i := range visits {
+			c := visits[i].Load()
+			if c > 1 {
+				t.Fatalf("active %d: node %d visited %d times", active, i, c)
+			}
+			if (c == 1) != f.IsActive(i) {
+				t.Fatalf("active %d: node %d visited=%v active=%v", active, i, c == 1, f.IsActive(i))
+			}
+			got += int(c)
+		}
+		if got != f.Count() {
+			t.Fatalf("active %d: visited %d, frontier count %d", active, got, f.Count())
+		}
+		if f.Advance() != got {
+			t.Fatal("in-loop activations did not land in next set")
+		}
+	}
+}

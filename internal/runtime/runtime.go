@@ -14,6 +14,7 @@ package runtime
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -274,6 +275,53 @@ func (h *Host) ParForNodes(fn func(tid int, node graph.NodeID)) {
 // master-iterator optimization from §5.2).
 func (h *Host) ParForMasters(fn func(tid int, node graph.NodeID)) {
 	h.ParFor(h.HP.NumMasters, func(tid, i int) { fn(tid, graph.NodeID(i)) })
+}
+
+// frontierDenseDivisor is the density threshold of ParForActive's
+// Ligra-style representation switch: at |active| >= |V|/16 the frontier is
+// iterated as a parallel bitset scan (no compaction, word-level skips of
+// inactive runs); below it the set bits are compacted into an index list
+// so per-round work is O(|active|) plus one word scan.
+const frontierDenseDivisor = 16
+
+// ParForActive runs fn over the vertices in f's current set, on the
+// host's worker pool. The iteration form switches on frontier density
+// (see frontierDenseDivisor); both forms invoke fn with distinct vertices
+// only, so the same conflict-freedom argument as ParFor applies. fn may
+// f.Activate concurrently — activations land in the next set and never
+// affect the round in flight.
+//
+//kimbap:conflictfree
+func (h *Host) ParForActive(f *Frontier, fn func(tid int, node graph.NodeID)) {
+	n := f.Count()
+	if n == 0 {
+		return
+	}
+	// Small frontiers run inline on the calling goroutine: waking the
+	// worker pool costs more than visiting a few hundred vertices, and
+	// late rounds of frontier-driven algorithms hit this every round.
+	if n <= 256 {
+		f.cur.ForEachSet(func(i int) { fn(0, graph.NodeID(i)) })
+		return
+	}
+	if n*frontierDenseDivisor >= f.Size() {
+		words := f.cur.words
+		tail := len(words) - 1
+		mask := f.cur.tailMask()
+		h.ParFor(len(words), func(tid, w int) {
+			word := words[w].Load()
+			if w == tail {
+				word &= mask
+			}
+			for word != 0 {
+				fn(tid, graph.NodeID(w*64+bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		})
+		return
+	}
+	idx := f.compact()
+	h.ParFor(len(idx), func(tid, i int) { fn(tid, graph.NodeID(idx[i])) })
 }
 
 // Barrier synchronizes all hosts.
