@@ -20,9 +20,12 @@ lint:
 	$(GO) run ./cmd/kimbapvet ./...
 
 # race covers the concurrency-heavy packages: the property maps, the
-# runtime's worker pool and bitsets, and the transports.
+# runtime's worker pool and bitsets, the transports, and the parallel
+# ingestion pipeline (par pool, counting-sort build, partitioner,
+# generators).
 race:
-	$(GO) test -race ./internal/npm/... ./internal/runtime/... ./internal/comm/...
+	$(GO) test -race ./internal/npm/... ./internal/runtime/... ./internal/comm/... \
+		./internal/par/... ./internal/graph/... ./internal/partition/... ./internal/gen/...
 
 ci: build test lint race
 

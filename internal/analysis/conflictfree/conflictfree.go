@@ -12,6 +12,14 @@
 // GraphLab engines get this guarantee from their DSL compilers; here the
 // annotation plus the analyzer replace the compiler.
 //
+// The annotation is also accepted on a statement: written immediately
+// above a par.Do / par.Static / par.Dynamic dispatch, it asserts that the
+// worker closure passed to the dispatch is conflict-free (the ingestion
+// pipeline's counting-sort scatters carry it). The analyzer proves the
+// closure's call tree lock-free exactly as it does for an annotated
+// function, and rejects the annotation on any other kind of statement so
+// a mis-placed assertion cannot silently check nothing.
+//
 // The call graph is first-order: direct calls and method calls on
 // concrete receivers are followed into any package loaded in the program
 // (function literals inside a checked body are scanned as part of it);
@@ -46,29 +54,95 @@ func run(pass *framework.Pass) error {
 		active:  map[*types.Func]bool{},
 	}
 	for _, f := range pass.Pkg.Files {
+		cmap := ast.NewCommentMap(pass.Fset(), f, f.Comments)
 		for _, d := range f.Decls {
 			decl, ok := d.(*ast.FuncDecl)
-			if !ok || decl.Body == nil || !annotated(decl) {
+			if !ok || decl.Body == nil {
 				continue
 			}
-			fn, _ := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
-			if fn == nil {
-				continue
+			if annotated(decl) {
+				fn, _ := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				if path := cf.check(fn.Origin(), decl, pass.Pkg); path != nil {
+					pass.Reportf(decl.Name.Pos(),
+						"conflict-free path acquires a lock: %s", strings.Join(path, " -> "))
+				}
 			}
-			if path := cf.check(fn.Origin(), decl, pass.Pkg); path != nil {
-				pass.Reportf(decl.Name.Pos(),
-					"conflict-free path acquires a lock: %s", strings.Join(path, " -> "))
-			}
+			cf.checkAnnotatedDispatches(pass, decl, cmap)
 		}
 	}
 	return nil
 }
 
+// checkAnnotatedDispatches handles statement-level annotations: a
+// //kimbap:conflictfree comment attached to a par dispatch statement
+// asserts the worker closure it dispatches is lock-free.
+func (c *checker) checkAnnotatedDispatches(pass *framework.Pass, decl *ast.FuncDecl, cmap ast.CommentMap) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok || !annotatedStmt(cmap, stmt) {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		dispatch := ""
+		if ok {
+			dispatch = parDispatchName(pass.Pkg.Info, call)
+		}
+		if dispatch == "" {
+			pass.Reportf(stmt.Pos(),
+				"%s on a statement must annotate a par.Do/Static/Dynamic dispatch", annotation)
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if path := c.scan(dispatch+" closure", lit.Body, pass.Pkg); path != nil {
+				pass.Reportf(call.Pos(),
+					"conflict-free path acquires a lock: %s", strings.Join(path, " -> "))
+			}
+		}
+		return true
+	})
+}
+
+// parDispatchName returns "par.Do" (etc.) if call is a worker dispatch
+// from kimbap/internal/par, or "".
+func parDispatchName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/par") {
+		return ""
+	}
+	switch fn.Name() {
+	case "Do", "Static", "Dynamic":
+		return "par." + fn.Name()
+	}
+	return ""
+}
+
 func annotated(decl *ast.FuncDecl) bool {
-	if decl.Doc == nil {
+	return groupAnnotated(decl.Doc)
+}
+
+// annotatedStmt reports whether a comment group attached to stmt carries
+// the annotation.
+func annotatedStmt(cmap ast.CommentMap, stmt ast.Stmt) bool {
+	for _, g := range cmap[stmt] {
+		if groupAnnotated(g) {
+			return true
+		}
+	}
+	return false
+}
+
+func groupAnnotated(g *ast.CommentGroup) bool {
+	if g == nil {
 		return false
 	}
-	for _, c := range decl.Doc.List {
+	for _, c := range g.List {
 		if strings.HasPrefix(strings.TrimSpace(c.Text), annotation) {
 			return true
 		}
@@ -95,8 +169,16 @@ func (c *checker) check(fn *types.Func, decl *ast.FuncDecl, pkg *load.Package) [
 	c.active[fn] = true
 	defer delete(c.active, fn)
 
+	path := c.scan(fnName(fn), decl.Body, pkg)
+	c.results[fn] = path
+	return path
+}
+
+// scan walks one body (a function's or a dispatched closure's) and returns
+// the call chain from root to a lock acquisition, or nil.
+func (c *checker) scan(root string, body ast.Node, pkg *load.Package) []string {
 	var path []string
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if path != nil {
 			return false
 		}
@@ -109,7 +191,7 @@ func (c *checker) check(fn *types.Func, decl *ast.FuncDecl, pkg *load.Package) [
 			return true
 		}
 		if isLockAcquire(callee) {
-			path = []string{fnName(fn), fnName(callee)}
+			path = []string{root, fnName(callee)}
 			return false
 		}
 		calleeDecl, calleePkg := c.prog.FuncDecl(callee)
@@ -117,12 +199,11 @@ func (c *checker) check(fn *types.Func, decl *ast.FuncDecl, pkg *load.Package) [
 			return true // no source: interface method or stdlib; assumed clean
 		}
 		if sub := c.check(callee.Origin(), calleeDecl, calleePkg); sub != nil {
-			path = append([]string{fnName(fn)}, sub...)
+			path = append([]string{root}, sub...)
 			return false
 		}
 		return true
 	})
-	c.results[fn] = path
 	return path
 }
 

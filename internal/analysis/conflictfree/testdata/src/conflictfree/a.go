@@ -6,6 +6,7 @@ package conflictfree
 import (
 	"sync"
 
+	"kimbap/internal/par"
 	"kimbap/internal/runtime"
 )
 
@@ -87,4 +88,50 @@ func (l *lockedFrontier) activate(i int) {
 func reduceAndActivateLocked(s *store, l *lockedFrontier, u int, x float64) { // want `reduceAndActivateLocked -> lockedFrontier.activate -> Mutex.Lock`
 	s.vals[u] += x
 	l.activate(u)
+}
+
+// Statement-level annotations: placed on a par dispatch, the annotation
+// asserts the worker closure is conflict-free (the counting-sort scatter
+// idiom — every write lands in a slot reserved by the worker's cursor).
+func scatterClean(s *store, n int) {
+	//kimbap:conflictfree
+	par.Do(2, func(w int) {
+		lo, hi := par.Range(w, 2, n)
+		for i := lo; i < hi; i++ {
+			s.vals[i] = float64(i)
+		}
+	})
+}
+
+func scatterViaLocked(s *store, n int) {
+	//kimbap:conflictfree
+	par.Static(2, n, func(w, lo, hi int) { // want `conflict-free path acquires a lock: par.Static closure -> store.reduceLocked -> Mutex.Lock`
+		for i := lo; i < hi; i++ {
+			s.reduceLocked(i, 1)
+		}
+	})
+}
+
+func scatterDirectLock(s *store, n int) {
+	//kimbap:conflictfree
+	par.Do(2, func(w int) { // want `conflict-free path acquires a lock: par.Do closure -> Mutex.Lock`
+		s.mu.Lock()
+		s.vals[w]++
+		s.mu.Unlock()
+	})
+}
+
+// An unannotated dispatch may lock freely.
+func gatherLocked(s *store, n int) {
+	par.Dynamic(2, n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.reduceLocked(i, 1)
+		}
+	})
+}
+
+// The annotation must sit on a dispatch, not an arbitrary statement.
+func misplacedAnnotation(s *store) {
+	//kimbap:conflictfree
+	s.reduceClean(0, 1) // want `//kimbap:conflictfree on a statement must annotate a par.Do/Static/Dynamic dispatch`
 }

@@ -11,10 +11,11 @@
 //     peers; a host that parks on a channel while holding a shard lock
 //     that a worker thread needs can deadlock the whole cluster.
 //     Worker-pool dispatches (runtime.ParFor and its ParForNodes /
-//     ParForMasters / ParForActive wrappers) count as blocking for the
-//     same reason: the caller parks until every worker finishes, so a
-//     worker iteration that needs the caller's shard lock deadlocks the
-//     host.
+//     ParForMasters / ParForActive wrappers, and the ingestion pool's
+//     par.Do / par.Static / par.Dynamic / par.PrefixSum) count as
+//     blocking for the same reason: the caller parks until every worker
+//     finishes, so a worker iteration that needs the caller's shard lock
+//     deadlocks the host.
 //
 // The analysis is structured (per-function, branch-sensitive, loop bodies
 // must preserve lock state) rather than CFG-complete: functions using goto
@@ -387,6 +388,8 @@ func (fa *funcAnalysis) call(call *ast.CallExpr) {
 			fa.blockingOp(call.Pos(), fmt.Sprintf("comm.%s call", name))
 		} else if fa.isParForCall(sel) {
 			fa.blockingOp(call.Pos(), fmt.Sprintf("runtime.%s call", name))
+		} else if fa.isParDispatch(sel) {
+			fa.blockingOp(call.Pos(), fmt.Sprintf("par.%s call", name))
 		}
 	}
 }
@@ -448,6 +451,22 @@ func (fa *funcAnalysis) isParForCall(sel *ast.SelectorExpr) bool {
 	}
 	switch fn.Name() {
 	case "ParFor", "ParForNodes", "ParForMasters", "ParForActive":
+		return true
+	}
+	return false
+}
+
+// isParDispatch reports whether sel names a pool dispatch from
+// kimbap/internal/par, the ingestion-side worker pool. Do, Static,
+// Dynamic, and PrefixSum all park the caller until the last worker
+// returns; Range and Resolve are pure arithmetic and are not flagged.
+func (fa *funcAnalysis) isParDispatch(sel *ast.SelectorExpr) bool {
+	fn, ok := fa.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/par") {
+		return false
+	}
+	switch fn.Name() {
+	case "Do", "Static", "Dynamic", "PrefixSum":
 		return true
 	}
 	return false

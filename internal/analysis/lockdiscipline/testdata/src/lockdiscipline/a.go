@@ -7,6 +7,7 @@ import (
 
 	"kimbap/internal/comm"
 	"kimbap/internal/graph"
+	"kimbap/internal/par"
 	"kimbap/internal/runtime"
 )
 
@@ -181,4 +182,44 @@ func useAcquireWrapper(sh *shard, k, v int) {
 func wrapperLeaks(sh *shard, k, v int) {
 	sh.lockCounting() // want `sh.mu.Lock\(\) is not released on all paths`
 	sh.m[k] = v
+}
+
+// The ingestion pool's dispatches park the caller exactly like ParFor.
+func parDoWhileLocked(sh *shard) {
+	sh.mu.Lock()
+	par.Do(4, func(w int) {}) // want `par.Do call while holding sh.mu`
+	sh.mu.Unlock()
+}
+
+func parStaticWhileDeferLocked(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	par.Static(4, 256, func(w, lo, hi int) {}) // want `par.Static call while holding sh.mu`
+}
+
+func parDynamicWhileLocked(sh *shard) {
+	sh.mu.Lock()
+	par.Dynamic(4, 256, 16, func(lo, hi int) {}) // want `par.Dynamic call while holding sh.mu`
+	sh.mu.Unlock()
+}
+
+func prefixSumWhileLocked(sh *shard, a []int64) int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return par.PrefixSum(4, a) // want `par.PrefixSum call while holding sh.mu`
+}
+
+// Range and Resolve are pure arithmetic: no diagnostic.
+func parRangeWhileLocked(sh *shard, k int) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lo, hi := par.Range(0, par.Resolve(4), k)
+	return sh.m[lo] + sh.m[hi]
+}
+
+func parDoAfterUnlock(sh *shard, k, v int) {
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+	par.Do(4, func(w int) {})
 }

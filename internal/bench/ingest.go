@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/partition"
+)
+
+// The ingest suite times the three load-path phases separately — generate,
+// build (symmetrize + dedup + CSR), partition — per preset, with the
+// partition phase swept over host counts. Build and partition each carry a
+// `_serial` twin measuring the retained single-threaded reference
+// implementation (graph.BuildSerial et al., partition.PartitionSerial) on
+// the same input, so the JSON records the parallel pipeline's speedup
+// against a baseline measured on the same machine in the same run.
+// Generation has no serial twin: the counter-based generators are one
+// implementation whose worker count only changes scheduling, never work.
+
+// ingestHosts is the host-count sweep for the partition phase.
+func (c Config) ingestHosts() []int {
+	if c.Scale == Full {
+		return []int{2, 8}
+	}
+	return []int{2}
+}
+
+// ingestPerf returns the ingest_* records for the perf trajectory.
+func (c Config) ingestPerf() []PerfRecord {
+	var recs []PerfRecord
+	for _, p := range gen.Presets {
+		recs = append(recs, c.ingestGenPerf(p))
+		recs = append(recs,
+			c.ingestBuildPerf(p, false),
+			c.ingestBuildPerf(p, true))
+		for _, hosts := range c.ingestHosts() {
+			recs = append(recs,
+				c.ingestPartitionPerf(p, hosts, false),
+				c.ingestPartitionPerf(p, hosts, true))
+		}
+	}
+	return recs
+}
+
+// timeOp runs op Reps times and fills rec with the fastest run's wall time
+// and its malloc count. setup runs outside the timed window.
+func (c Config) timeOp(rec PerfRecord, setup func(), op func()) PerfRecord {
+	best := time.Duration(-1)
+	var ms0, ms1 gort.MemStats
+	for rep := 0; rep < c.Reps; rep++ {
+		setup()
+		gort.ReadMemStats(&ms0)
+		start := time.Now()
+		op()
+		wall := time.Since(start)
+		gort.ReadMemStats(&ms1)
+		if best < 0 || wall < best {
+			best = wall
+			rec.WallNsPerOp = float64(wall.Nanoseconds())
+			rec.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
+		}
+	}
+	return rec
+}
+
+// ingestGenPerf times one preset generation end to end (candidate
+// generation, symmetrize, dedup, CSR build) at the configured worker count.
+func (c Config) ingestGenPerf(p gen.Preset) PerfRecord {
+	prev := gen.SetWorkers(c.Threads)
+	defer gen.SetWorkers(prev)
+	return c.timeOp(
+		PerfRecord{Name: "ingest_generate/" + string(p), Hosts: 1, Threads: c.Threads},
+		func() {},
+		func() {
+			if c.Scale == Full {
+				gen.Build(p)
+			} else {
+				gen.BuildSmall(p)
+			}
+		})
+}
+
+// ingestColumns extracts a graph's edge list as builder columns, the raw
+// material both build twins consume. The measured op symmetrizes first, so
+// starting from an already-symmetric CSR means Dedup sees every edge twice
+// — real duplicate-elimination work, like a raw generator stream.
+func ingestColumns(g *graph.Graph) (srcs, dsts []graph.NodeID, ws []float64) {
+	m := int(g.NumEdges())
+	srcs = make([]graph.NodeID, 0, m)
+	dsts = make([]graph.NodeID, 0, m)
+	if g.Weighted() {
+		ws = make([]float64, 0, m)
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		v := graph.NodeID(n)
+		lo, hi := g.EdgeRange(v)
+		for e := lo; e < hi; e++ {
+			srcs = append(srcs, v)
+			dsts = append(dsts, g.Dst(e))
+			if ws != nil {
+				ws = append(ws, g.Weight(e))
+			}
+		}
+	}
+	return srcs, dsts, ws
+}
+
+// ingestBuildPerf times the column pipeline (symmetrize, dedup, CSR build)
+// on the preset's edge list: the parallel path at c.Threads workers, or the
+// retained serial reference.
+func (c Config) ingestBuildPerf(p gen.Preset, serial bool) PerfRecord {
+	g := c.graphFor(p)
+	srcs, dsts, ws := ingestColumns(g)
+	name, workers := "ingest_build/"+string(p), c.Threads
+	if serial {
+		name, workers = "ingest_build_serial/"+string(p), 1
+	}
+	var b *graph.Builder
+	return c.timeOp(
+		PerfRecord{Name: name, Hosts: 1, Threads: workers},
+		func() {
+			// The pipeline mutates its columns; each rep gets fresh copies.
+			s2 := append([]graph.NodeID(nil), srcs...)
+			d2 := append([]graph.NodeID(nil), dsts...)
+			var w2 []float64
+			if ws != nil {
+				w2 = append([]float64(nil), ws...)
+			}
+			b = graph.NewBuilderFromArrays(g.NumNodes(), s2, d2, w2).SetWorkers(workers)
+		},
+		func() {
+			if serial {
+				b.SymmetrizeSerial()
+				b.DedupSerial()
+				b.BuildSerial()
+			} else {
+				b.Symmetrize()
+				b.Dedup()
+				b.Build()
+			}
+		})
+}
+
+// ingestPartitionPerf times partitioning the preset across hosts under the
+// CVC policy (the sweep default elsewhere in the suite).
+func (c Config) ingestPartitionPerf(p gen.Preset, hosts int, serial bool) PerfRecord {
+	g := c.graphFor(p)
+	name, workers := fmt.Sprintf("ingest_partition/%s", p), c.Threads
+	if serial {
+		name, workers = fmt.Sprintf("ingest_partition_serial/%s", p), 1
+	}
+	return c.timeOp(
+		PerfRecord{Name: name, Hosts: hosts, Threads: workers},
+		func() {},
+		func() {
+			if serial {
+				partition.PartitionSerial(g, hosts, partition.CVC)
+			} else {
+				partition.PartitionWorkers(g, hosts, partition.CVC, workers)
+			}
+		})
+}

@@ -79,6 +79,7 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 		c.ccPerf("cc_sv_full_dense", npm.Full, 8, true),
 		c.ccPerf("cc_sv_full_sparse", npm.Full, 8, false),
 	}
+	records = append(records, c.ingestPerf()...)
 
 	if jsonPath != "" {
 		prev := map[string]float64{}
@@ -193,9 +194,18 @@ func (c Config) perfGraph() (*graph.Graph, int) {
 // mallocs, and the conflict counter around the measured window. Reps
 // windows are run and the fastest kept.
 func (c Config) syncPerf(name string, variant npm.Variant, hosts int, pin bool) PerfRecord {
+	return c.syncPerfWire(name, variant, hosts, pin, comm.WireAuto)
+}
+
+// syncPerfWire is syncPerf with an explicit wire format, letting the
+// regression gate measure the v1 baseline live on the current workload
+// instead of trusting a recorded constant.
+func (c Config) syncPerfWire(name string, variant npm.Variant, hosts int, pin bool,
+	wire comm.WireFormat) PerfRecord {
+
 	g, iters := c.perfGraph()
 	cluster, err := runtime.NewCluster(g, runtime.Config{
-		NumHosts: hosts, ThreadsPerHost: c.Threads,
+		NumHosts: hosts, ThreadsPerHost: c.Threads, Wire: wire,
 	})
 	if err != nil {
 		panic(err)

@@ -11,15 +11,13 @@ import (
 	"kimbap/internal/runtime"
 )
 
-// The v1 reduce_sync_full/8h/4t comm volume on the fixed perf workload,
-// measured before the delta-varint codec landed. The v2 codec must keep at
-// least a 30% reduction against it.
-const v1ReduceSyncBytes = 58240
-
-// TestReduceSyncCommBytesNoRegression gates the wire codec's win. With
-// Reps=1 the measured window covers a fixed iteration range, and the v2
-// base-relative key encoding makes payload sizes independent of cell
-// insertion order, so this run's comm_bytes is fully deterministic. The
+// TestReduceSyncCommBytesNoRegression gates the wire codec's win: the v2
+// default must move at most 70% of the bytes a v1-wire cluster sends on the
+// identical workload, measured live in the same process (the perf R-MAT
+// instance changed when the generators moved to counter-based PRNG streams,
+// so a recorded v1 constant would pin a graph that no longer exists). With
+// Reps=1 each measured window covers a fixed iteration range and both
+// encodings are order-independent, so the comparison is deterministic. The
 // committed BENCH_kimbap.json value comes from `make bench` (Reps=3, best
 // wall rep kept, and rep windows cover different iteration ranges), so the
 // comparison against it allows 0.5% cross-window drift — far below any
@@ -34,16 +32,44 @@ func TestReduceSyncCommBytesNoRegression(t *testing.T) {
 		}
 	}
 	cfg := Config{Scale: Full, Threads: 4, Reps: 1}
+	v1 := cfg.syncPerfWire("reduce_sync_full", npm.Full, 8, false, comm.WireV1)
 	rec := cfg.syncPerf("reduce_sync_full", npm.Full, 8, false)
-	if limit := int64(v1ReduceSyncBytes * 7 / 10); rec.CommBytes > limit {
+	if v1.CommBytes == 0 {
+		t.Fatal("v1 wire run sent no bytes; gate workload is broken")
+	}
+	if limit := v1.CommBytes * 7 / 10; rec.CommBytes > limit {
 		t.Errorf("comm_bytes = %d/op, above the 30%%-under-v1 ceiling %d (v1 = %d)",
-			rec.CommBytes, limit, int64(v1ReduceSyncBytes))
+			rec.CommBytes, limit, v1.CommBytes)
 	}
 	if committed < 0 {
 		t.Log("no committed BENCH_kimbap.json record; only the v1 ceiling was checked")
 	} else if slack := committed + committed/200; rec.CommBytes > slack {
 		t.Errorf("comm_bytes = %d/op, regressed past the committed %d (+0.5%% = %d)",
 			rec.CommBytes, committed, slack)
+	}
+}
+
+// TestIngestBuildPartitionGate holds the parallel ingestion pipeline to at
+// most 60% of the retained serial references' wall time on the full-scale
+// friendster preset: build (symmetrize + dedup + CSR) plus an 8-host CVC
+// partition. Both sides are measured live in this process — wall-time
+// baselines recorded on another machine would gate nothing — with two reps
+// each, fastest kept. The margin is wide (the pipeline measures ~40% of
+// serial on one core, and parallelism only widens it), so scheduler noise
+// cannot trip the gate.
+func TestIngestBuildPartitionGate(t *testing.T) {
+	cfg := Config{Scale: Full, Threads: 4, Reps: 2}
+	const p = gen.Friendster
+	serial := cfg.ingestBuildPerf(p, true).WallNsPerOp +
+		cfg.ingestPartitionPerf(p, 8, true).WallNsPerOp
+	par := cfg.ingestBuildPerf(p, false).WallNsPerOp +
+		cfg.ingestPartitionPerf(p, 8, false).WallNsPerOp
+	if serial == 0 {
+		t.Fatal("serial ingest measured zero wall time; gate workload is broken")
+	}
+	if limit := serial * 0.6; par > limit {
+		t.Errorf("parallel build+partition = %.1fms, above 60%% of serial %.1fms (limit %.1fms)",
+			par/1e6, serial/1e6, limit/1e6)
 	}
 }
 

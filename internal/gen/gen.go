@@ -4,13 +4,15 @@
 // power-law web crawls (clueweb12, wdc12). Real inputs are 3 GB - 1 TB and
 // not redistributable, so the reproduction uses generators that preserve
 // the two structural properties the evaluation depends on: diameter and
-// degree skew. All generators are deterministic given a seed.
+// degree skew. All generators are deterministic given a seed: every
+// candidate edge draws from its own counter-based PRNG stream (rand.go),
+// so generation parallelizes over candidate chunks and the output is
+// bit-identical at every worker count.
 package gen
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 	"strings"
 
@@ -22,26 +24,26 @@ import (
 // The result is symmetric. If weighted, edge weights are deterministic
 // pseudo-random values in [1, 100).
 func Grid(rows, cols int, weighted bool, seed int64) *graph.Graph {
-	r := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(rows * cols)
-	id := func(i, j int) graph.NodeID { return graph.NodeID(i*cols + j) }
-	addEdge := func(u, v graph.NodeID) {
-		if weighted {
-			b.AddWeightedEdge(u, v, 1+99*r.Float64())
-		} else {
-			b.AddEdge(u, v)
-		}
-	}
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			if j+1 < cols {
-				addEdge(id(i, j), id(i, j+1))
+	// Candidate c: cell c/2's rightward (even c) or downward (odd c) edge;
+	// border cells drop the candidates that would leave the grid.
+	b := builderFromCandidates(rows*cols, rows*cols*2, weighted,
+		func(c int) (src, dst graph.NodeID, w float64, ok bool) {
+			cell := c >> 1
+			i, j := cell/cols, cell%cols
+			if c&1 == 0 {
+				if j+1 >= cols {
+					return 0, 0, 0, false
+				}
+				dst = graph.NodeID(cell + 1)
+			} else {
+				if i+1 >= rows {
+					return 0, 0, 0, false
+				}
+				dst = graph.NodeID(cell + cols)
 			}
-			if i+1 < rows {
-				addEdge(id(i, j), id(i+1, j))
-			}
-		}
-	}
+			r := newEdgeRand(seed, int64(c))
+			return graph.NodeID(cell), dst, 1 + 99*r.Float64(), true
+		})
 	b.Symmetrize()
 	return b.Build()
 }
@@ -56,35 +58,30 @@ func RMAT(scale int, edgeFactor int, weighted bool, seed int64) *graph.Graph {
 }
 
 func rmat(scale, edgeFactor int, a, b, c float64, weighted bool, seed int64) *graph.Graph {
-	r := rand.New(rand.NewSource(seed))
 	n := 1 << scale
-	m := edgeFactor * n
-	bld := graph.NewBuilder(n)
-	for i := 0; i < m; i++ {
-		src, dst := 0, 0
-		for bit := scale - 1; bit >= 0; bit-- {
-			p := r.Float64()
-			switch {
-			case p < a:
-				// top-left quadrant: no bits set
-			case p < a+b:
-				dst |= 1 << bit
-			case p < a+b+c:
-				src |= 1 << bit
-			default:
-				src |= 1 << bit
-				dst |= 1 << bit
+	bld := builderFromCandidates(n, edgeFactor*n, weighted,
+		func(cd int) (graph.NodeID, graph.NodeID, float64, bool) {
+			r := newEdgeRand(seed, int64(cd))
+			src, dst := 0, 0
+			for bit := scale - 1; bit >= 0; bit-- {
+				p := r.Float64()
+				switch {
+				case p < a:
+					// top-left quadrant: no bits set
+				case p < a+b:
+					dst |= 1 << bit
+				case p < a+b+c:
+					src |= 1 << bit
+				default:
+					src |= 1 << bit
+					dst |= 1 << bit
+				}
 			}
-		}
-		if src == dst {
-			continue
-		}
-		if weighted {
-			bld.AddWeightedEdge(graph.NodeID(src), graph.NodeID(dst), 1+99*r.Float64())
-		} else {
-			bld.AddEdge(graph.NodeID(src), graph.NodeID(dst))
-		}
-	}
+			if src == dst {
+				return 0, 0, 0, false
+			}
+			return graph.NodeID(src), graph.NodeID(dst), 1 + 99*r.Float64(), true
+		})
 	bld.Symmetrize()
 	bld.Dedup()
 	return bld.Build()
@@ -93,20 +90,16 @@ func rmat(scale, edgeFactor int, a, b, c float64, weighted bool, seed int64) *gr
 // ErdosRenyi generates a G(n, m) random graph with m directed edges chosen
 // uniformly (self-loops skipped), then symmetrized and deduplicated.
 func ErdosRenyi(n, m int, weighted bool, seed int64) *graph.Graph {
-	r := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
-	for i := 0; i < m; i++ {
-		src := graph.NodeID(r.Intn(n))
-		dst := graph.NodeID(r.Intn(n))
-		if src == dst {
-			continue
-		}
-		if weighted {
-			b.AddWeightedEdge(src, dst, 1+99*r.Float64())
-		} else {
-			b.AddEdge(src, dst)
-		}
-	}
+	b := builderFromCandidates(n, m, weighted,
+		func(c int) (graph.NodeID, graph.NodeID, float64, bool) {
+			r := newEdgeRand(seed, int64(c))
+			src := graph.NodeID(r.Intn(n))
+			dst := graph.NodeID(r.Intn(n))
+			if src == dst {
+				return 0, 0, 0, false
+			}
+			return src, dst, 1 + 99*r.Float64(), true
+		})
 	b.Symmetrize()
 	b.Dedup()
 	return b.Build()
@@ -115,15 +108,15 @@ func ErdosRenyi(n, m int, weighted bool, seed int64) *graph.Graph {
 // Chain generates a path graph 0-1-2-...-(n-1), symmetrized. Its diameter is
 // n-1, the extreme case for pointer-jumping algorithms.
 func Chain(n int, weighted bool, seed int64) *graph.Graph {
-	r := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
-	for i := 0; i+1 < n; i++ {
-		if weighted {
-			b.AddWeightedEdge(graph.NodeID(i), graph.NodeID(i+1), 1+99*r.Float64())
-		} else {
-			b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
-		}
+	candidates := n - 1
+	if n == 0 {
+		candidates = 0
 	}
+	b := builderFromCandidates(n, candidates, weighted,
+		func(c int) (graph.NodeID, graph.NodeID, float64, bool) {
+			r := newEdgeRand(seed, int64(c))
+			return graph.NodeID(c), graph.NodeID(c + 1), 1 + 99*r.Float64(), true
+		})
 	b.Symmetrize()
 	return b.Build()
 }
@@ -146,33 +139,31 @@ func Star(n int) *graph.Graph {
 // node. Ground truth is recoverable by community detection; used to sanity
 // check Louvain/Leiden quality.
 func Communities(k, size, degIn, degOut int, weighted bool, seed int64) *graph.Graph {
-	r := rand.New(rand.NewSource(seed))
 	n := k * size
-	b := graph.NewBuilder(n)
-	add := func(u, v graph.NodeID) {
-		if u == v {
-			return
-		}
-		if weighted {
-			b.AddWeightedEdge(u, v, 1+9*r.Float64())
-		} else {
-			b.AddEdge(u, v)
-		}
-	}
-	for c := 0; c < k; c++ {
-		base := c * size
-		for i := 0; i < size; i++ {
-			u := graph.NodeID(base + i)
-			// Ring within the community guarantees it is connected.
-			add(u, graph.NodeID(base+(i+1)%size))
-			for d := 0; d < degIn; d++ {
-				add(u, graph.NodeID(base+r.Intn(size)))
+	// Each node owns a block of candidate slots: slot 0 is its ring edge
+	// (connecting the community), the next degIn slots draw intra-community
+	// destinations, the rest draw global ones.
+	slots := 1 + degIn + degOut
+	b := builderFromCandidates(n, n*slots, weighted,
+		func(c int) (graph.NodeID, graph.NodeID, float64, bool) {
+			u, slot := c/slots, c%slots
+			base := (u / size) * size
+			r := newEdgeRand(seed, int64(c))
+			var v int
+			switch {
+			case slot == 0:
+				// Ring within the community guarantees it is connected.
+				v = base + (u-base+1)%size
+			case slot <= degIn:
+				v = base + r.Intn(size)
+			default:
+				v = r.Intn(n)
 			}
-			for d := 0; d < degOut; d++ {
-				add(u, graph.NodeID(r.Intn(n)))
+			if u == v {
+				return 0, 0, 0, false
 			}
-		}
-	}
+			return graph.NodeID(u), graph.NodeID(v), 1 + 9*r.Float64(), true
+		})
 	b.Symmetrize()
 	b.Dedup()
 	return b.Build()

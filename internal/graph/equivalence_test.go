@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The parallel build pipeline (build.go) promises bit-identical output to
+// the retained serial references at every worker count. These tests sweep
+// the promise across the feature matrix that changes the pipeline's shape:
+// weighted columns, duplicate edges, self-loops, and empty nodes (nodes
+// with no incident edges, so counting-sort buckets of size zero).
+
+type edgeCase struct {
+	weighted  bool
+	dups      bool
+	selfLoops bool
+	emptyTail bool // leave the top quarter of node IDs untouched
+}
+
+func (c edgeCase) name() string {
+	return fmt.Sprintf("weighted=%v/dups=%v/selfloops=%v/empty=%v",
+		c.weighted, c.dups, c.selfLoops, c.emptyTail)
+}
+
+func allEdgeCases() []edgeCase {
+	var cases []edgeCase
+	for _, w := range []bool{false, true} {
+		for _, d := range []bool{false, true} {
+			for _, s := range []bool{false, true} {
+				for _, e := range []bool{false, true} {
+					cases = append(cases, edgeCase{w, d, s, e})
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// fillBuilder streams the same pseudo-random edges into b. Weights are
+// drawn from a small integer set so duplicate (src, dst) pairs frequently
+// collide on weight too, exercising Dedup's full (src, dst, weight) order.
+func fillBuilder(b *Builder, c edgeCase, n, m int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	span := n
+	if c.emptyTail {
+		span = n - n/4
+		if span < 1 {
+			span = 1
+		}
+	}
+	for i := 0; i < m; i++ {
+		s := NodeID(r.Intn(span))
+		d := NodeID(r.Intn(span))
+		if !c.selfLoops && s == d {
+			d = (d + 1) % NodeID(span)
+			if span == 1 {
+				continue
+			}
+		}
+		if c.weighted {
+			b.AddWeightedEdge(s, d, float64(r.Intn(8)+1))
+		} else {
+			b.AddEdge(s, d)
+		}
+		if c.dups && i%3 == 0 {
+			if c.weighted {
+				b.AddWeightedEdge(s, d, float64(r.Intn(8)+1))
+			} else {
+				b.AddEdge(s, d)
+			}
+		}
+	}
+}
+
+func requireGraphsIdentical(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if !reflect.DeepEqual(want.offsets, got.offsets) {
+		t.Fatalf("offsets differ:\nwant %v\ngot  %v", want.offsets, got.offsets)
+	}
+	if !reflect.DeepEqual(want.dsts, got.dsts) {
+		t.Fatalf("dsts differ:\nwant %v\ngot  %v", want.dsts, got.dsts)
+	}
+	if !reflect.DeepEqual(want.weights, got.weights) {
+		t.Fatalf("weights differ:\nwant %v\ngot  %v", want.weights, got.weights)
+	}
+}
+
+func requireColumnsIdentical(t *testing.T, want, got *Builder) {
+	t.Helper()
+	if !reflect.DeepEqual(want.srcs, got.srcs) || !reflect.DeepEqual(want.dsts, got.dsts) ||
+		!reflect.DeepEqual(want.weights, got.weights) {
+		t.Fatalf("builder columns differ:\nwant %v->%v (%v)\ngot  %v->%v (%v)",
+			want.srcs, want.dsts, want.weights, got.srcs, got.dsts, got.weights)
+	}
+}
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// pipelines pairs each serial reference chain with its parallel twin.
+var pipelines = []struct {
+	name     string
+	serial   func(b *Builder) *Graph
+	parallel func(b *Builder) *Graph
+}{
+	{"build", (*Builder).BuildSerial, (*Builder).Build},
+	{"symmetrize+build",
+		func(b *Builder) *Graph { b.SymmetrizeSerial(); return b.BuildSerial() },
+		func(b *Builder) *Graph { b.Symmetrize(); return b.Build() }},
+	{"dedup+build",
+		func(b *Builder) *Graph { b.DedupSerial(); return b.BuildSerial() },
+		func(b *Builder) *Graph { b.Dedup(); return b.Build() }},
+	{"symmetrize+dedup+build",
+		func(b *Builder) *Graph { b.SymmetrizeSerial(); b.DedupSerial(); return b.BuildSerial() },
+		func(b *Builder) *Graph { b.Symmetrize(); b.Dedup(); return b.Build() }},
+}
+
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	const n, m = 97, 600
+	for _, ec := range allEdgeCases() {
+		for _, pl := range pipelines {
+			ref := NewBuilder(n)
+			fillBuilder(ref, ec, n, m, 42)
+			want := pl.serial(ref)
+			for _, w := range workerCounts {
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", pl.name, ec.name(), w), func(t *testing.T) {
+					b := NewBuilder(n).SetWorkers(w)
+					fillBuilder(b, ec, n, m, 42)
+					requireGraphsIdentical(t, want, pl.parallel(b))
+				})
+			}
+		}
+	}
+}
+
+// The column-level checks pin Symmetrize and Dedup on their own, before any
+// Build reordering could mask a divergence.
+func TestParallelColumnOpsMatchSerial(t *testing.T) {
+	const n, m = 53, 400
+	for _, ec := range allEdgeCases() {
+		symRef := NewBuilder(n)
+		fillBuilder(symRef, ec, n, m, 7)
+		symRef.SymmetrizeSerial()
+		dedupRef := NewBuilder(n)
+		fillBuilder(dedupRef, ec, n, m, 7)
+		dedupRef.DedupSerial()
+		for _, w := range workerCounts {
+			t.Run(fmt.Sprintf("%s/workers=%d", ec.name(), w), func(t *testing.T) {
+				b := NewBuilder(n).SetWorkers(w)
+				fillBuilder(b, ec, n, m, 7)
+				b.Symmetrize()
+				requireColumnsIdentical(t, symRef, b)
+
+				b = NewBuilder(n).SetWorkers(w)
+				fillBuilder(b, ec, n, m, 7)
+				b.Dedup()
+				requireColumnsIdentical(t, dedupRef, b)
+			})
+		}
+	}
+}
+
+func TestBuildEmptyAndDegenerate(t *testing.T) {
+	for _, w := range workerCounts {
+		g := NewBuilder(0).SetWorkers(w).Build()
+		if g.NumNodes() != 0 || g.NumEdges() != 0 {
+			t.Fatalf("workers=%d: empty build = %d nodes %d edges", w, g.NumNodes(), g.NumEdges())
+		}
+		g = NewBuilder(5).SetWorkers(w).Build()
+		if g.NumNodes() != 5 || g.NumEdges() != 0 {
+			t.Fatalf("workers=%d: edgeless build = %d nodes %d edges", w, g.NumNodes(), g.NumEdges())
+		}
+		b := NewBuilder(3).SetWorkers(w)
+		b.AddEdge(2, 0)
+		b.Symmetrize()
+		b.Dedup()
+		g = b.Build()
+		if g.NumEdges() != 2 || !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+			t.Fatalf("workers=%d: single-edge pipeline wrong: %v", w, g.Edges())
+		}
+	}
+}
+
+func TestParallelBuildPanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("parallel Build did not panic on out-of-range edge")
+		}
+	}()
+	b := NewBuilder(2).SetWorkers(4)
+	for i := 0; i < 64; i++ {
+		b.AddEdge(0, 1)
+	}
+	b.AddEdge(0, 5)
+	b.Build()
+}
+
+// TestBuildWarmPathAllocs bounds the steady-state allocation count of the
+// parallel Build: the output graph (struct + three arrays) plus the handful
+// of escaping closures and the pooled count matrix round-trip. Growth here
+// means a scratch buffer stopped being recycled.
+func TestBuildWarmPathAllocs(t *testing.T) {
+	b := NewBuilder(256).SetWorkers(4)
+	fillBuilder(b, edgeCase{weighted: true, dups: true}, 256, 4096, 3)
+	b.Build() // warm the count pool
+	avg := testing.AllocsPerRun(20, func() { b.Build() })
+	// 4 output allocations (Graph struct, offsets, dsts, weights) plus
+	// bounded pipeline overhead; 24 gives headroom without hiding a
+	// per-node or per-edge regression (which would add hundreds).
+	if avg > 24 {
+		t.Fatalf("warm Build allocates %.1f times per run, want <= 24", avg)
+	}
+}

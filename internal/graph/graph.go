@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -147,12 +148,17 @@ func (s Stats) String() string {
 		s.Nodes, s.Edges, s.AvgDegree, s.MaxDegree)
 }
 
-// Builder accumulates edges and produces an immutable CSR Graph.
+// Builder accumulates edges and produces an immutable CSR Graph. Edges are
+// held in structure-of-arrays form — separate src/dst/weight columns — so
+// the parallel build pipeline (build.go) scans and scatters them with
+// columnar passes and unweighted graphs never pay for a weight column.
 // It is not safe for concurrent use.
 type Builder struct {
 	numNodes int
-	edges    []Edge
-	weighted bool
+	srcs     []NodeID
+	dsts     []NodeID
+	weights  []float64 // nil until the first weighted edge
+	workers  int       // 0 = par.DefaultWorkers
 }
 
 // NewBuilder returns a Builder for a graph with the given number of nodes.
@@ -160,114 +166,142 @@ func NewBuilder(numNodes int) *Builder {
 	return &Builder{numNodes: numNodes}
 }
 
+// SetWorkers fixes the worker count used by Symmetrize, Dedup and Build.
+// Zero (the default) means all cores; tests force specific counts to
+// exercise the parallel paths regardless of machine size. Output is
+// bit-identical at every setting.
+func (b *Builder) SetWorkers(w int) *Builder {
+	b.workers = w
+	return b
+}
+
 // AddEdge adds a directed unweighted edge (weight 1).
 func (b *Builder) AddEdge(src, dst NodeID) {
-	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: 1})
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+	if b.weights != nil {
+		b.weights = append(b.weights, 1)
+	}
 }
 
 // AddWeightedEdge adds a directed edge with the given weight and marks the
 // graph as weighted.
 func (b *Builder) AddWeightedEdge(src, dst NodeID, w float64) {
-	b.weighted = true
-	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Weight: w})
+	if b.weights == nil {
+		// Edges added before the first weighted one carry the default
+		// weight 1.
+		b.weights = make([]float64, len(b.srcs), cap(b.srcs))
+		for i := range b.weights {
+			b.weights[i] = 1
+		}
+	}
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+	b.weights = append(b.weights, w)
 }
 
 // NumEdges returns the number of edges added so far.
-func (b *Builder) NumEdges() int { return len(b.edges) }
+func (b *Builder) NumEdges() int { return len(b.srcs) }
 
-// Symmetrize adds the reverse of every edge added so far, making the edge
-// set symmetric. Self-loops are not duplicated. Call before Build.
-func (b *Builder) Symmetrize() {
-	orig := len(b.edges)
+// SymmetrizeSerial is the retained single-threaded reference for
+// Symmetrize; the equivalence tests compare the two bit for bit.
+func (b *Builder) SymmetrizeSerial() {
+	orig := len(b.srcs)
 	for i := 0; i < orig; i++ {
-		e := b.edges[i]
-		if e.Src != e.Dst {
-			b.edges = append(b.edges, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+		s, d := b.srcs[i], b.dsts[i]
+		if s != d {
+			b.srcs = append(b.srcs, d)
+			b.dsts = append(b.dsts, s)
+			if b.weights != nil {
+				b.weights = append(b.weights, b.weights[i])
+			}
 		}
 	}
 }
 
-// Dedup removes duplicate (src,dst) pairs, keeping the smallest weight.
-// Taking the minimum (rather than an arbitrary survivor) keeps symmetrized
-// graphs weight-symmetric: both directions of a multi-edge collapse to the
-// same value. Call before Build if the edge stream may contain duplicates.
-func (b *Builder) Dedup() {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].Src != b.edges[j].Src {
-			return b.edges[i].Src < b.edges[j].Src
+// DedupSerial is the retained single-threaded reference for Dedup: a global
+// (src, dst, weight) sort followed by a linear compaction keeping the first
+// edge of each (src, dst) group — the minimum weight. Taking the minimum
+// (rather than an arbitrary survivor) keeps symmetrized graphs
+// weight-symmetric: both directions of a multi-edge collapse to the same
+// value.
+func (b *Builder) DedupSerial() {
+	m := len(b.srcs)
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, c := idx[i], idx[j]
+		if b.srcs[a] != b.srcs[c] {
+			return b.srcs[a] < b.srcs[c]
 		}
-		if b.edges[i].Dst != b.edges[j].Dst {
-			return b.edges[i].Dst < b.edges[j].Dst
+		if b.dsts[a] != b.dsts[c] {
+			return b.dsts[a] < b.dsts[c]
 		}
-		return b.edges[i].Weight < b.edges[j].Weight
+		return b.weights != nil && b.weights[a] < b.weights[c]
 	})
-	out := b.edges[:0]
-	for i, e := range b.edges {
-		if i > 0 && e.Src == out[len(out)-1].Src && e.Dst == out[len(out)-1].Dst {
+	ns := make([]NodeID, 0, m)
+	nd := make([]NodeID, 0, m)
+	var nw []float64
+	if b.weights != nil {
+		nw = make([]float64, 0, m)
+	}
+	for _, k := range idx {
+		if n := len(ns); n > 0 && b.srcs[k] == ns[n-1] && b.dsts[k] == nd[n-1] {
 			continue
 		}
-		out = append(out, e)
+		ns = append(ns, b.srcs[k])
+		nd = append(nd, b.dsts[k])
+		if nw != nil {
+			nw = append(nw, b.weights[k])
+		}
 	}
-	b.edges = out
+	b.srcs, b.dsts, b.weights = ns, nd, nw
 }
 
-// Build produces the CSR graph. The Builder must not be reused afterwards.
-// Neighbor lists are sorted by destination.
-func (b *Builder) Build() *Graph {
-	g := &Graph{offsets: make([]int64, b.numNodes+1)}
-	for _, e := range b.edges {
-		if int(e.Src) >= b.numNodes || int(e.Dst) >= b.numNodes {
-			panic(fmt.Sprintf("graph: edge %d->%d out of range for %d nodes",
-				e.Src, e.Dst, b.numNodes))
+// BuildSerial is the retained single-threaded reference for Build: degree
+// count, prefix sum, stable scatter in insertion order, then the same
+// in-place per-node adjacency sort the parallel path uses. The Builder must
+// not be reused afterwards.
+func (b *Builder) BuildSerial() *Graph {
+	n := b.numNodes
+	g := &Graph{offsets: make([]int64, n+1)}
+	for i := range b.srcs {
+		s, d := b.srcs[i], b.dsts[i]
+		if int(s) >= n || int(d) >= n {
+			panic(fmt.Sprintf("graph: edge %d->%d out of range for %d nodes", s, d, n))
 		}
-		g.offsets[e.Src+1]++
+		g.offsets[s+1]++
 	}
-	for i := 1; i <= b.numNodes; i++ {
+	for i := 1; i <= n; i++ {
 		g.offsets[i] += g.offsets[i-1]
 	}
-	g.dsts = make([]NodeID, len(b.edges))
-	if b.weighted {
-		g.weights = make([]float64, len(b.edges))
+	g.dsts = make([]NodeID, len(b.srcs))
+	if b.weights != nil {
+		g.weights = make([]float64, len(b.srcs))
 	}
-	cursor := make([]int64, b.numNodes)
-	copy(cursor, g.offsets[:b.numNodes])
-	for _, e := range b.edges {
-		at := cursor[e.Src]
-		cursor[e.Src]++
-		g.dsts[at] = e.Dst
-		if b.weighted {
-			g.weights[at] = e.Weight
+	cursor := make([]int64, n)
+	copy(cursor, g.offsets[:n])
+	for i := range b.srcs {
+		at := cursor[b.srcs[i]]
+		cursor[b.srcs[i]]++
+		g.dsts[at] = b.dsts[i]
+		if g.weights != nil {
+			g.weights[at] = b.weights[i]
 		}
 	}
 	// Sort each adjacency list by destination for deterministic iteration
 	// and binary-searchable HasEdge.
-	for n := 0; n < b.numNodes; n++ {
-		lo, hi := g.offsets[n], g.offsets[n+1]
-		if b.weighted {
-			sortAdjWeighted(g.dsts[lo:hi], g.weights[lo:hi])
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		if g.weights != nil {
+			sortDstWeight(g.dsts[lo:hi], g.weights[lo:hi])
 		} else {
-			sort.Slice(g.dsts[lo:hi], func(i, j int) bool {
-				return g.dsts[lo+int64(i)] < g.dsts[lo+int64(j)]
-			})
+			slices.Sort(g.dsts[lo:hi])
 		}
 	}
 	return g
-}
-
-func sortAdjWeighted(dsts []NodeID, ws []float64) {
-	idx := make([]int, len(dsts))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return dsts[idx[i]] < dsts[idx[j]] })
-	nd := make([]NodeID, len(dsts))
-	nw := make([]float64, len(ws))
-	for i, k := range idx {
-		nd[i] = dsts[k]
-		nw[i] = ws[k]
-	}
-	copy(dsts, nd)
-	copy(ws, nw)
 }
 
 // FromEdges is a convenience constructor that builds a graph directly from

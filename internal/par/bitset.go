@@ -1,0 +1,168 @@
+package par
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitset is a fixed-size concurrent bitset. The paper's request phase uses
+// one to de-duplicate node-property requests (§4.1), the runtime's frontier
+// subsystem uses a pair as its current/next active sets (both via the
+// runtime.Bitset alias), and the parallel partitioner uses per-worker
+// instances for mirror discovery, merged with OrInto. Set is a single
+// atomic fetch-or, so concurrent setters never lock.
+type Bitset struct {
+	words []atomic.Uint64
+	size  int
+}
+
+// NewBitset creates a bitset of the given size with all bits clear.
+func NewBitset(size int) *Bitset {
+	return &Bitset{words: make([]atomic.Uint64, (size+63)/64), size: size}
+}
+
+// Size returns the bitset capacity in bits.
+func (b *Bitset) Size() int { return b.size }
+
+// tailMask is the valid-bit mask for the final word: bits at positions
+// >= size are storage padding, never payload. Every whole-word reader
+// masks the last word with it, so a words buffer reused at a smaller size
+// (stale high bits set) can never over-count or surface phantom indices.
+func (b *Bitset) tailMask() uint64 {
+	if r := uint(b.size) % 64; r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// Set atomically sets bit i and reports whether it was previously clear.
+func (b *Bitset) Set(i int) bool {
+	mask := uint64(1) << (uint(i) % 64)
+	old := b.words[i/64].Or(mask)
+	return old&mask == 0
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	return b.words[i/64].Load()&(uint64(1)<<(uint(i)%64)) != 0
+}
+
+// Clear resets all bits.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}
+
+// SetRange atomically sets every bit in [lo, hi).
+func (b *Bitset) SetRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << (uint(lo) % 64)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)%64)
+	if loW == hiW {
+		b.words[loW].Or(loMask & hiMask)
+		return
+	}
+	b.words[loW].Or(loMask)
+	for w := loW + 1; w < hiW; w++ {
+		b.words[w].Or(^uint64(0))
+	}
+	b.words[hiW].Or(hiMask)
+}
+
+// Words returns the number of 64-bit words backing the bitset.
+func (b *Bitset) Words() int { return len(b.words) }
+
+// MaskedWord returns word i with tail-padding bits cleared: callers can
+// scan whole words (the dense-frontier regime, the mirror-collection scan)
+// without re-deriving the valid-bit mask.
+func (b *Bitset) MaskedWord(i int) uint64 {
+	w := b.words[i].Load()
+	if i == len(b.words)-1 {
+		w &= b.tailMask()
+	}
+	return w
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	if len(b.words) == 0 {
+		return 0
+	}
+	n := 0
+	last := len(b.words) - 1
+	for i := 0; i < last; i++ {
+		n += bits.OnesCount64(b.words[i].Load())
+	}
+	return n + bits.OnesCount64(b.words[last].Load()&b.tailMask())
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitset) CountRange(lo, hi int) int {
+	if hi > b.size {
+		hi = b.size
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << (uint(lo) % 64)
+	hiMask := ^uint64(0) >> (63 - uint(hi-1)%64)
+	if loW == hiW {
+		return bits.OnesCount64(b.words[loW].Load() & loMask & hiMask)
+	}
+	n := bits.OnesCount64(b.words[loW].Load() & loMask)
+	for w := loW + 1; w < hiW; w++ {
+		n += bits.OnesCount64(b.words[w].Load())
+	}
+	return n + bits.OnesCount64(b.words[hiW].Load()&hiMask)
+}
+
+// OrInto ors this bitset's words into dst, word at a time. The two bitsets
+// must be the same size.
+func (b *Bitset) OrInto(dst *Bitset) {
+	if dst.size != b.size {
+		panic("runtime: OrInto size mismatch")
+	}
+	for i := range b.words {
+		if w := b.words[i].Load(); w != 0 {
+			dst.words[i].Or(w)
+		}
+	}
+}
+
+// ForEachSet calls fn for every set bit in ascending order.
+func (b *Bitset) ForEachSet(fn func(i int)) {
+	b.ForEachSetFrom(0, fn)
+}
+
+// ForEachSetFrom calls fn for every set bit at position >= start, in
+// ascending order.
+func (b *Bitset) ForEachSetFrom(start int, fn func(i int)) {
+	if start >= b.size {
+		return
+	}
+	if start < 0 {
+		start = 0
+	}
+	last := len(b.words) - 1
+	for w := start / 64; w <= last; w++ {
+		word := b.words[w].Load()
+		if w == start/64 {
+			word &= ^uint64(0) << (uint(start) % 64)
+		}
+		if w == last {
+			word &= b.tailMask()
+		}
+		for word != 0 {
+			fn(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

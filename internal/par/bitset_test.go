@@ -1,0 +1,51 @@
+package par
+
+import "testing"
+
+// White-box bitset tests live here with the implementation; the runtime
+// package's frontier tests cover the alias-facing behavior.
+
+func TestBitsetTrailingWordMasked(t *testing.T) {
+	// A words buffer with stale high bits (as if reused at smaller size)
+	// must never surface phantom indices or over-count.
+	b := NewBitset(70)
+	for i := 0; i < 70; i++ {
+		b.Set(i)
+	}
+	b.words[1].Store(^uint64(0)) // stale bits above position 69
+	if got := b.Count(); got != 70 {
+		t.Fatalf("Count with stale tail bits = %d, want 70", got)
+	}
+	seen := 0
+	b.ForEachSet(func(i int) {
+		if i >= 70 {
+			t.Fatalf("ForEachSet surfaced phantom index %d", i)
+		}
+		seen++
+	})
+	if seen != 70 {
+		t.Fatalf("ForEachSet visited %d bits, want 70", seen)
+	}
+	if got := b.MaskedWord(1); got != (uint64(1)<<6)-1 {
+		t.Fatalf("MaskedWord(1) = %#x, want low 6 bits", got)
+	}
+}
+
+func TestBitsetMaskedWordRoundTrip(t *testing.T) {
+	b := NewBitset(130)
+	set := []int{0, 63, 64, 127, 128, 129}
+	for _, i := range set {
+		b.Set(i)
+	}
+	total := 0
+	for w := 0; w < b.Words(); w++ {
+		word := b.MaskedWord(w)
+		for word != 0 {
+			total++
+			word &= word - 1
+		}
+	}
+	if total != len(set) {
+		t.Fatalf("MaskedWord scan found %d bits, want %d", total, len(set))
+	}
+}

@@ -1,0 +1,257 @@
+// Package par provides the bounded parallel primitives behind Kimbap's
+// ingestion pipeline: a persistent worker pool shared by the graph builder,
+// the partitioner, and the synthetic-graph generators, plus the parallel
+// prefix sum that stitches per-worker counting-sort results together.
+//
+// The package sits below internal/runtime in the import graph (runtime
+// imports graph and partition, which import this package), so ingestion
+// cannot reuse runtime's per-host ParFor pool without a cycle. The pool
+// here follows the same design: parked workers woken per round, an atomic
+// busy flag instead of a mutex, and a serial inline fallback when the pool
+// is already claimed — a nested Do (the partitioner building per-host CSRs
+// inside a per-host Do) degrades to serial execution, which is always
+// correct because every caller is required to produce scheduling-
+// independent output.
+//
+// Determinism contract: Do(workers, fn) invokes fn(w) exactly once for
+// each w in [0, workers), with no guarantee about interleaving or which
+// goroutine runs which w. Callers make results deterministic by keying all
+// intermediate state by w and merging in w order — the counting-sort
+// pattern — never by sharing cursors across workers.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes 0:
+// the process's GOMAXPROCS. Ingestion phases are memory-bandwidth-bound,
+// so oversubscription buys nothing.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Resolve maps a caller-supplied worker count to an effective one: 0 means
+// DefaultWorkers, anything else is used as given (tests force 2/4/8 to
+// exercise the parallel paths regardless of machine size).
+func Resolve(workers int) int {
+	if workers == 0 {
+		return DefaultWorkers()
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// sharedPool is the process-wide parked-worker pool, created on first use.
+var (
+	poolOnce   sync.Once
+	sharedPool *pool
+)
+
+func getPool() *pool {
+	poolOnce.Do(func() { sharedPool = newPool(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}
+
+// pool is a set of parked goroutines that execute one round of tasks per
+// wake. Task indices are claimed from a shared atomic cursor, so skewed
+// task costs balance across the parked workers and the round owner, which
+// participates too (on a single-core machine the owner typically runs the
+// whole round inline without a context switch).
+type pool struct {
+	parked int
+	wake   []chan struct{}
+	wg     sync.WaitGroup
+	busy   atomic.Bool
+
+	// Per-round state: written by the round owner before the wake sends,
+	// read by workers after the wake receives (the channel orders them),
+	// cleared only after wg.Wait returns.
+	fn       func(w int)
+	n        int64
+	next     atomic.Int64
+	panicked atomic.Pointer[poolPanic]
+}
+
+// poolPanic boxes a worker's recovered panic for re-raising on the owner.
+type poolPanic struct{ v any }
+
+func newPool(parked int) *pool {
+	p := &pool{parked: parked, wake: make([]chan struct{}, parked)}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *pool) worker(i int) {
+	for range p.wake[i] {
+		p.runTasks()
+		p.wg.Done()
+	}
+}
+
+func (p *pool) runTasks() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked.Store(&poolPanic{r})
+			// Park the cursor past the end so peers stop claiming tasks
+			// and the round drains.
+			p.next.Store(1 << 62)
+		}
+	}()
+	for {
+		w := p.next.Add(1) - 1
+		if w >= p.n {
+			return
+		}
+		p.fn(int(w))
+	}
+}
+
+// run executes one round of n tasks. The caller must hold the busy flag.
+func (p *pool) run(n int, fn func(w int)) {
+	p.fn = fn
+	p.n = int64(n)
+	p.next.Store(0)
+	p.panicked.Store(nil)
+	p.wg.Add(p.parked)
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	p.runTasks() // the owner participates
+	p.wg.Wait()
+	p.fn = nil
+	if pp := p.panicked.Load(); pp != nil {
+		panic(pp.v)
+	}
+}
+
+// Do invokes fn(w) for every w in [0, workers) and waits for all of them.
+// Rounds on the shared pool never allocate per task; a nested or concurrent
+// Do falls back to running every task inline on the caller's goroutine.
+func Do(workers int, fn func(w int)) {
+	workers = Resolve(workers)
+	if workers == 1 {
+		fn(0)
+		return
+	}
+	p := getPool()
+	if !p.busy.CompareAndSwap(false, true) {
+		for w := 0; w < workers; w++ {
+			fn(w)
+		}
+		return
+	}
+	defer p.busy.Store(false)
+	p.run(workers, fn)
+}
+
+// Range returns worker w's half-open slice [lo, hi) of a static balanced
+// split of [0, n) into `workers` contiguous ranges. Ranges depend only on
+// (w, workers, n), never on scheduling — the basis of every deterministic
+// per-worker counter in the ingestion pipeline.
+func Range(w, workers, n int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// Static runs fn(w, lo, hi) for each worker's static Range of [0, n).
+// Workers whose range is empty are still invoked (lo == hi) so per-worker
+// outputs stay index-aligned.
+func Static(workers, n int, fn func(w, lo, hi int)) {
+	workers = Resolve(workers)
+	if workers > n && n > 0 {
+		// More workers than items only adds empty ranges; shrink so the
+		// merge loops stay short. Forced worker counts above n are
+		// harmless to drop: Range(w) would be empty for w >= n.
+		workers = n
+	}
+	Do(workers, func(w int) {
+		lo, hi := Range(w, workers, n)
+		fn(w, lo, hi)
+	})
+}
+
+// Dynamic runs fn(lo, hi) over [0, n) in chunks of at most grain items,
+// claimed by an atomic cursor: the load-balanced variant for tasks with
+// skewed per-item cost (per-node adjacency sorts on power-law graphs).
+// Output must not depend on which worker processes which chunk.
+func Dynamic(workers, n, grain int, fn func(lo, hi int)) {
+	workers = Resolve(workers)
+	if grain < 1 {
+		grain = 1
+	}
+	if workers == 1 || n <= grain {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var next atomic.Int64
+	Do(workers, func(int) {
+		for {
+			hi := next.Add(int64(grain))
+			lo := hi - int64(grain)
+			if lo >= int64(n) {
+				return
+			}
+			if hi > int64(n) {
+				hi = int64(n)
+			}
+			fn(int(lo), int(hi))
+		}
+	})
+}
+
+// PrefixSum replaces a[i] with the sum of a[0..i] (inclusive scan) using a
+// two-pass chunked scan, and returns the total. The counting-sort merge
+// calls it on the CSR offset array, whose length is numNodes+1.
+func PrefixSum(workers int, a []int64) int64 {
+	workers = Resolve(workers)
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if workers == 1 || n < 4096 {
+		var sum int64
+		for i := range a {
+			sum += a[i]
+			a[i] = sum
+		}
+		return sum
+	}
+	if workers > n {
+		workers = n
+	}
+	sums := make([]int64, workers)
+	Static(workers, n, func(w, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += a[i]
+		}
+		sums[w] = s
+	})
+	var total int64
+	for w := range sums {
+		s := sums[w]
+		sums[w] = total
+		total += s
+	}
+	Static(workers, n, func(w, lo, hi int) {
+		s := sums[w]
+		for i := lo; i < hi; i++ {
+			s += a[i]
+			a[i] = s
+		}
+	})
+	return total
+}

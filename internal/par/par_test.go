@@ -1,0 +1,123 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryWorkerOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		hits := make([]atomic.Int32, workers)
+		Do(workers, func(w int) { hits[w].Add(1) })
+		for w := range hits {
+			if got := hits[w].Load(); got != 1 {
+				t.Fatalf("workers=%d: fn(%d) ran %d times", workers, w, got)
+			}
+		}
+	}
+}
+
+func TestDoNestedFallsBackInline(t *testing.T) {
+	var total atomic.Int64
+	Do(4, func(w int) {
+		Do(4, func(inner int) { total.Add(1) })
+	})
+	if total.Load() != 16 {
+		t.Fatalf("nested Do ran %d inner tasks, want 16", total.Load())
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+		// The pool must be reusable after a panicked round.
+		var n atomic.Int32
+		Do(4, func(int) { n.Add(1) })
+		if n.Load() != 4 {
+			t.Fatalf("pool broken after panic: %d/4 tasks ran", n.Load())
+		}
+	}()
+	Do(4, func(w int) {
+		if w == 2 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRangeCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 1000, 1001} {
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Range(w, workers, n)
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d: Range(%d) starts at %d, want %d", n, workers, w, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d workers=%d: Range(%d) = [%d,%d)", n, workers, w, lo, hi)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: ranges end at %d", n, workers, prevHi)
+			}
+		}
+	}
+}
+
+func TestStaticAndDynamicCover(t *testing.T) {
+	const n = 10000
+	for _, workers := range []int{1, 2, 4, 8} {
+		seen := make([]atomic.Int32, n)
+		Static(workers, n, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("Static workers=%d: index %d seen %d times", workers, i, seen[i].Load())
+			}
+		}
+		seen = make([]atomic.Int32, n)
+		Dynamic(workers, n, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("Dynamic workers=%d: index %d seen %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestPrefixSumMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 4096, 100003} {
+		a := make([]int64, n)
+		want := make([]int64, n)
+		var sum int64
+		for i := range a {
+			a[i] = int64(r.Intn(1000))
+			sum += a[i]
+			want[i] = sum
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b := make([]int64, n)
+			copy(b, a)
+			if got := PrefixSum(workers, b); got != sum {
+				t.Fatalf("n=%d workers=%d: total %d, want %d", n, workers, got, sum)
+			}
+			for i := range b {
+				if b[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: b[%d]=%d, want %d", n, workers, i, b[i], want[i])
+				}
+			}
+		}
+	}
+}

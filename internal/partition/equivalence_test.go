@@ -1,0 +1,132 @@
+package partition
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+)
+
+// The parallel partitioner (parallel.go) promises the same Partitioned —
+// boundaries, GlobalIDs, local CSR, MirrorsByOwner, MasterSendTo, structural
+// invariant flags — as the serial reference, bit for bit, at every worker
+// count. The runtime layers (reduce-sync addressing, pinned mirrors) key off
+// these tables, so "roughly equal" is not enough.
+
+func requireSameGraph(t *testing.T, label string, want, got *graph.Graph) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() ||
+		want.Weighted() != got.Weighted() {
+		t.Fatalf("%s: shape differs: %d/%d nodes, %d/%d edges",
+			label, want.NumNodes(), got.NumNodes(), want.NumEdges(), got.NumEdges())
+	}
+	for n := 0; n < want.NumNodes(); n++ {
+		v := graph.NodeID(n)
+		if !reflect.DeepEqual(want.Neighbors(v), got.Neighbors(v)) {
+			t.Fatalf("%s: node %d neighbors differ:\nwant %v\ngot  %v",
+				label, n, want.Neighbors(v), got.Neighbors(v))
+		}
+		if !reflect.DeepEqual(want.EdgeWeights(v), got.EdgeWeights(v)) {
+			t.Fatalf("%s: node %d weights differ", label, n)
+		}
+	}
+}
+
+func requireSamePartitioned(t *testing.T, want, got *Partitioned) {
+	t.Helper()
+	if !reflect.DeepEqual(want.boundaries, got.boundaries) {
+		t.Fatalf("boundaries differ: want %v got %v", want.boundaries, got.boundaries)
+	}
+	if !reflect.DeepEqual(want.ownerTab, got.ownerTab) {
+		t.Fatal("owner tables differ")
+	}
+	if len(want.Hosts) != len(got.Hosts) {
+		t.Fatalf("host counts differ: %d vs %d", len(want.Hosts), len(got.Hosts))
+	}
+	for h := range want.Hosts {
+		w, g := want.Hosts[h], got.Hosts[h]
+		label := fmt.Sprintf("host %d", h)
+		if w.NumMasters != g.NumMasters {
+			t.Fatalf("%s: NumMasters %d vs %d", label, w.NumMasters, g.NumMasters)
+		}
+		if !reflect.DeepEqual(w.GlobalIDs, g.GlobalIDs) {
+			t.Fatalf("%s: GlobalIDs differ:\nwant %v\ngot  %v", label, w.GlobalIDs, g.GlobalIDs)
+		}
+		if !reflect.DeepEqual(w.mirrorGlobals, g.mirrorGlobals) {
+			t.Fatalf("%s: mirror lists differ", label)
+		}
+		requireSameGraph(t, label+" local CSR", w.Local, g.Local)
+		if !mirrorTablesEqual(w.MirrorsByOwner, g.MirrorsByOwner) {
+			t.Fatalf("%s: MirrorsByOwner differ:\nwant %v\ngot  %v",
+				label, w.MirrorsByOwner, g.MirrorsByOwner)
+		}
+		if !mirrorTablesEqual(w.MasterSendTo, g.MasterSendTo) {
+			t.Fatalf("%s: MasterSendTo differ:\nwant %v\ngot  %v",
+				label, w.MasterSendTo, g.MasterSendTo)
+		}
+		if w.MirrorsHaveNoOutEdges != g.MirrorsHaveNoOutEdges ||
+			w.MirrorsHaveNoInEdges != g.MirrorsHaveNoInEdges {
+			t.Fatalf("%s: invariant flags differ", label)
+		}
+	}
+}
+
+// mirrorTablesEqual treats a nil bucket and an empty bucket as the same
+// list: the serial path appends into nil slices, the parallel path may
+// pre-size, and no consumer distinguishes the two.
+func mirrorTablesEqual(a, b [][]graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestParallelPartitionMatchesSerial(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid":  gen.Grid(10, 10, true, 1),
+		"rmat":  gen.RMAT(8, 8, true, 2),
+		"star":  gen.Star(64),
+		"chain": gen.Chain(50, false, 3),
+	}
+	for name, g := range graphs {
+		for _, pol := range Policies {
+			for _, hosts := range []int{1, 2, 3, 4, 8} {
+				want := PartitionSerial(g, hosts, pol)
+				for _, workers := range []int{1, 2, 4, 8} {
+					t.Run(fmt.Sprintf("%s/%s/hosts=%d/workers=%d", name, pol, hosts, workers),
+						func(t *testing.T) {
+							requireSamePartitioned(t, want,
+								PartitionWorkers(g, hosts, pol, workers))
+						})
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPartitionEmptyGraph(t *testing.T) {
+	var g graph.Graph
+	for _, workers := range []int{1, 4} {
+		p := PartitionWorkers(&g, 3, OEC, workers)
+		if len(p.Hosts) != 3 {
+			t.Fatalf("workers=%d: %d hosts", workers, len(p.Hosts))
+		}
+		for _, hp := range p.Hosts {
+			if hp.NumLocal() != 0 || hp.Local.NumEdges() != 0 {
+				t.Fatalf("workers=%d: empty graph grew proxies", workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package partition
+
+import (
+	"sort"
+
+	"kimbap/internal/graph"
+	"kimbap/internal/par"
+)
+
+// Parallel partitioning pipeline. The three passes of PartitionSerial are
+// reshaped for bounded-worker execution without changing the output by a
+// bit:
+//
+//  1. A chunked edge-assignment scan over static ranges of the global edge
+//     index space. Each worker keeps a per-host edge counter and a per-host
+//     mirror Bitset, so the pass is lock- and map-free; an exclusive scan
+//     of the counters sizes every host's edge columns exactly, and the
+//     mirror Bitsets are merged with OrInto (a set union — scheduling
+//     cannot affect it).
+//  2. A re-scan scatters each edge into its host's columns at a cursor
+//     reserved by the scan, then one worker per host materializes the
+//     mirror list from the merged Bitset (ForEachSet yields ascending
+//     global IDs, the order the serial reference gets from sorting map
+//     keys), translates the columns to local IDs in place, and builds the
+//     local CSR through graph.FromArrays — no []graph.Edge is ever
+//     materialized.
+//  3. Mirror-list exchange runs one host per worker, with a barrier
+//     between the MirrorsByOwner and MasterSendTo halves (the latter reads
+//     every other host's former).
+
+// Partition splits g across numHosts hosts using the given policy, using
+// all cores. Output is bit-identical to PartitionSerial.
+func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
+	return PartitionWorkers(g, numHosts, policy, 0)
+}
+
+// PartitionWorkers is Partition with an explicit worker count (0 = all
+// cores). Output is identical at every worker count.
+func PartitionWorkers(g *graph.Graph, numHosts int, policy Policy, workers int) *Partitioned {
+	if numHosts < 1 {
+		panic("partition: numHosts must be >= 1")
+	}
+	numNodes := g.NumNodes()
+	numEdges := int(g.NumEdges())
+	workers = par.Resolve(workers)
+	if workers > numEdges && numEdges > 0 {
+		workers = numEdges
+	}
+	p := &Partitioned{
+		NumHosts:   numHosts,
+		NumNodes:   numNodes,
+		Policy:     policy,
+		boundaries: degreeBalancedBoundaries(g, numHosts),
+	}
+	p.buildOwnerTab()
+	assign := p.edgeAssigner(policy, numHosts)
+
+	// Pass 1: per-worker per-host edge counts and mirror bitsets over
+	// static edge ranges.
+	counts := make([]int64, workers*numHosts)
+	mirSets := make([]*par.Bitset, workers*numHosts)
+	for i := range mirSets {
+		mirSets[i] = par.NewBitset(numNodes)
+	}
+	par.Do(workers, func(w int) {
+		cnt := counts[w*numHosts : (w+1)*numHosts]
+		sets := mirSets[w*numHosts : (w+1)*numHosts]
+		elo, ehi := par.Range(w, workers, numEdges)
+		forEachEdgeIn(g, elo, ehi)(func(src, dst graph.NodeID, _ int64) {
+			h := assign(src, dst)
+			cnt[h]++
+			if p.Owner(src) != h {
+				sets[h].Set(int(src))
+			}
+			if p.Owner(dst) != h {
+				sets[h].Set(int(dst))
+			}
+		})
+	})
+
+	// Merge: per host, union the workers' mirror sets (into worker 0's) and
+	// turn the counts column into scatter cursors via an exclusive scan.
+	mirrors := make([]*par.Bitset, numHosts)
+	totals := make([]int64, numHosts)
+	par.Dynamic(workers, numHosts, 1, func(lo, hi int) {
+		for h := lo; h < hi; h++ {
+			mb := mirSets[h]
+			for w := 1; w < workers; w++ {
+				mirSets[w*numHosts+h].OrInto(mb)
+			}
+			mirrors[h] = mb
+			var pos int64
+			for w := 0; w < workers; w++ {
+				c := counts[w*numHosts+h]
+				counts[w*numHosts+h] = pos
+				pos += c
+			}
+			totals[h] = pos
+		}
+	})
+
+	// Pass 2a: allocate exact-size per-host edge columns (global IDs for
+	// now) and scatter with a conflict-free re-scan — worker w owns cursor
+	// cell (w, h) and every write lands in a slot reserved by the scan.
+	weighted := g.Weighted()
+	srcCols := make([][]graph.NodeID, numHosts)
+	dstCols := make([][]graph.NodeID, numHosts)
+	var wCols [][]float64
+	if weighted {
+		wCols = make([][]float64, numHosts)
+	}
+	par.Dynamic(workers, numHosts, 1, func(lo, hi int) {
+		for h := lo; h < hi; h++ {
+			srcCols[h] = make([]graph.NodeID, totals[h])
+			dstCols[h] = make([]graph.NodeID, totals[h])
+			if weighted {
+				wCols[h] = make([]float64, totals[h])
+			}
+		}
+	})
+	//kimbap:conflictfree
+	par.Do(workers, func(w int) {
+		cursor := counts[w*numHosts : (w+1)*numHosts]
+		elo, ehi := par.Range(w, workers, numEdges)
+		forEachEdgeIn(g, elo, ehi)(func(src, dst graph.NodeID, e int64) {
+			h := assign(src, dst)
+			at := cursor[h]
+			cursor[h] = at + 1
+			srcCols[h][at] = src
+			dstCols[h][at] = dst
+			if weighted {
+				wCols[h][at] = g.Weight(e)
+			}
+		})
+	})
+
+	// Pass 2b: build each host's local view, one host per worker.
+	p.Hosts = make([]*HostPartition, numHosts)
+	par.Dynamic(workers, numHosts, 1, func(lo, hi int) {
+		for h := lo; h < hi; h++ {
+			var ws []float64
+			if weighted {
+				ws = wCols[h]
+			}
+			p.Hosts[h] = buildHostFromColumns(p, h, srcCols[h], dstCols[h], ws, mirrors[h])
+		}
+	})
+
+	// Pass 3: mirror-list exchange, one host per worker per half.
+	par.Dynamic(workers, numHosts, 1, func(lo, hi int) {
+		for h := lo; h < hi; h++ {
+			p.Hosts[h].buildMirrorsByOwner()
+		}
+	})
+	par.Dynamic(workers, numHosts, 1, func(lo, hi int) {
+		for h := lo; h < hi; h++ {
+			p.Hosts[h].buildMasterSendTo()
+		}
+	})
+	return p
+}
+
+// forEachEdgeIn iterates the CSR edges with global indices in [elo, ehi),
+// resolving each edge's source node once per node rather than once per
+// edge: the chunked scan's replacement for the serial per-node loop. The
+// starting node is found by binary search over the offset array.
+func forEachEdgeIn(g *graph.Graph, elo, ehi int) func(fn func(src, dst graph.NodeID, e int64)) {
+	return func(fn func(src, dst graph.NodeID, e int64)) {
+		if elo >= ehi {
+			return
+		}
+		n := g.NumNodes()
+		src := sort.Search(n, func(v int) bool {
+			_, hi := g.EdgeRange(graph.NodeID(v))
+			return hi > int64(elo)
+		})
+		for ; src < n; src++ {
+			nlo, nhi := g.EdgeRange(graph.NodeID(src))
+			lo, hi := max(nlo, int64(elo)), min(nhi, int64(ehi))
+			for e := lo; e < hi; e++ {
+				fn(graph.NodeID(src), g.Dst(e), e)
+			}
+			if nhi >= int64(ehi) {
+				return
+			}
+		}
+	}
+}
+
+// buildHostFromColumns is pass 2b for one host: mirror list out of the
+// merged bitset, global->local translation of the edge columns in place,
+// local CSR via the parallel builder (which degrades to inline serial here,
+// since the per-host loop already holds the worker pool).
+func buildHostFromColumns(p *Partitioned, h int,
+	srcs, dsts []graph.NodeID, weights []float64, mirrorSet *par.Bitset) *HostPartition {
+
+	lo, hi := p.MasterRange(h)
+	numMasters := int(hi - lo)
+	mirList := make([]graph.NodeID, 0, mirrorSet.Count())
+	mirrorSet.ForEachSet(func(i int) {
+		mirList = append(mirList, graph.NodeID(i))
+	})
+
+	hp := &HostPartition{
+		Host:          h,
+		NumMasters:    numMasters,
+		GlobalIDs:     make([]graph.NodeID, 0, numMasters+len(mirList)),
+		mirrorGlobals: mirList,
+		part:          p,
+	}
+	for v := lo; v < hi; v++ {
+		hp.GlobalIDs = append(hp.GlobalIDs, v)
+	}
+	hp.GlobalIDs = append(hp.GlobalIDs, mirList...)
+
+	for i := range srcs {
+		ls, ok1 := hp.LocalID(srcs[i])
+		ld, ok2 := hp.LocalID(dsts[i])
+		if !ok1 || !ok2 {
+			panic("partition: edge endpoint has no proxy")
+		}
+		srcs[i], dsts[i] = ls, ld
+	}
+	hp.Local = graph.FromArrays(len(hp.GlobalIDs), srcs, dsts, weights, 0)
+	hp.detectInvariants()
+	return hp
+}

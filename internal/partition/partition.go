@@ -84,8 +84,11 @@ type HostPartition struct {
 	part          *Partitioned
 }
 
-// Partition splits g across numHosts hosts using the given policy.
-func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
+// PartitionSerial is the retained single-threaded reference for Partition.
+// The equivalence tests compare its output — boundaries, GlobalIDs, local
+// CSR, MirrorsByOwner, MasterSendTo — bit for bit against the parallel
+// pipeline at every worker count.
+func PartitionSerial(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
 	if numHosts < 1 {
 		panic("partition: numHosts must be >= 1")
 	}
@@ -134,32 +137,45 @@ func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
 	// Pass 3: exchange mirror lists (direct computation; in a real cluster
 	// this is the partitioning-time metadata exchange).
 	for h := 0; h < numHosts; h++ {
-		hp := p.Hosts[h]
-		hp.MirrorsByOwner = make([][]graph.NodeID, numHosts)
-		for _, local := range hp.mirrorLocalIDs() {
-			o := p.Owner(hp.GlobalIDs[local])
-			hp.MirrorsByOwner[o] = append(hp.MirrorsByOwner[o], local)
-		}
+		p.Hosts[h].buildMirrorsByOwner()
 	}
 	for h := 0; h < numHosts; h++ {
-		hp := p.Hosts[h]
-		hp.MasterSendTo = make([][]graph.NodeID, numHosts)
-		for o := 0; o < numHosts; o++ {
-			if o == h {
-				continue
-			}
-			op := p.Hosts[o]
-			for _, mirrorLocal := range op.MirrorsByOwner[h] {
-				global := op.GlobalIDs[mirrorLocal]
-				masterLocal, ok := hp.LocalID(global)
-				if !ok || !hp.IsMaster(masterLocal) {
-					panic("partition: mirror without master proxy")
-				}
-				hp.MasterSendTo[o] = append(hp.MasterSendTo[o], masterLocal)
-			}
-		}
+		p.Hosts[h].buildMasterSendTo()
 	}
 	return p
+}
+
+// buildMirrorsByOwner buckets this host's mirrors (ascending local, hence
+// ascending global, IDs) by the host owning their master.
+func (hp *HostPartition) buildMirrorsByOwner() {
+	p := hp.part
+	hp.MirrorsByOwner = make([][]graph.NodeID, p.NumHosts)
+	for _, local := range hp.mirrorLocalIDs() {
+		o := p.Owner(hp.GlobalIDs[local])
+		hp.MirrorsByOwner[o] = append(hp.MirrorsByOwner[o], local)
+	}
+}
+
+// buildMasterSendTo derives this host's broadcast lists from every other
+// host's MirrorsByOwner; all hosts' buildMirrorsByOwner must have completed
+// first.
+func (hp *HostPartition) buildMasterSendTo() {
+	p := hp.part
+	hp.MasterSendTo = make([][]graph.NodeID, p.NumHosts)
+	for o := 0; o < p.NumHosts; o++ {
+		if o == hp.Host {
+			continue
+		}
+		op := p.Hosts[o]
+		for _, mirrorLocal := range op.MirrorsByOwner[hp.Host] {
+			global := op.GlobalIDs[mirrorLocal]
+			masterLocal, ok := hp.LocalID(global)
+			if !ok || !hp.IsMaster(masterLocal) {
+				panic("partition: mirror without master proxy")
+			}
+			hp.MasterSendTo[o] = append(hp.MasterSendTo[o], masterLocal)
+		}
+	}
 }
 
 // Owner returns the host that holds the master proxy of global node v.
@@ -289,8 +305,14 @@ func buildHostPartition(p *Partitioned, g *graph.Graph, h int,
 		}
 	}
 	hp.Local = b.Build()
+	hp.detectInvariants()
+	return hp
+}
 
-	// Detect structural invariants over mirror proxies.
+// detectInvariants scans the local CSR for the structural invariants
+// exploited by pinned-mirror optimizations.
+func (hp *HostPartition) detectInvariants() {
+	numMasters := hp.NumMasters
 	hp.MirrorsHaveNoOutEdges = true
 	inDeg := make([]int, hp.Local.NumNodes())
 	for n := 0; n < hp.Local.NumNodes(); n++ {
@@ -308,7 +330,6 @@ func buildHostPartition(p *Partitioned, g *graph.Graph, h int,
 			break
 		}
 	}
-	return hp
 }
 
 // LocalID translates a global node ID to this host's local ID. Masters map

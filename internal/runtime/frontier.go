@@ -85,7 +85,7 @@ func (f *Frontier) Reset() {
 // MemoryFootprint returns the bytes held by the frontier's two bitsets and
 // its compaction scratch, for the npm memory accounting.
 func (f *Frontier) MemoryFootprint() int64 {
-	return 2*int64(len(f.cur.words))*8 + int64(cap(f.idx))*4
+	return 2*int64(f.cur.Words())*8 + int64(cap(f.idx))*4
 }
 
 // compact returns the current set as an index list, rebuilding it only

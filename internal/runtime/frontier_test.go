@@ -8,29 +8,6 @@ import (
 	"kimbap/internal/graph"
 )
 
-func TestBitsetTrailingWordMasked(t *testing.T) {
-	// A words buffer with stale high bits (as if reused at smaller size)
-	// must never surface phantom indices or over-count.
-	b := NewBitset(70)
-	for i := 0; i < 70; i++ {
-		b.Set(i)
-	}
-	b.words[1].Store(^uint64(0)) // stale bits above position 69
-	if got := b.Count(); got != 70 {
-		t.Fatalf("Count with stale tail bits = %d, want 70", got)
-	}
-	seen := 0
-	b.ForEachSet(func(i int) {
-		if i >= 70 {
-			t.Fatalf("ForEachSet surfaced phantom index %d", i)
-		}
-		seen++
-	})
-	if seen != 70 {
-		t.Fatalf("ForEachSet visited %d bits, want 70", seen)
-	}
-}
-
 func TestBitsetForEachSetFrom(t *testing.T) {
 	b := NewBitset(200)
 	set := []int{0, 1, 63, 64, 65, 127, 128, 199}

@@ -305,14 +305,9 @@ func (h *Host) ParForActive(f *Frontier, fn func(tid int, node graph.NodeID)) {
 		return
 	}
 	if n*frontierDenseDivisor >= f.Size() {
-		words := f.cur.words
-		tail := len(words) - 1
-		mask := f.cur.tailMask()
-		h.ParFor(len(words), func(tid, w int) {
-			word := words[w].Load()
-			if w == tail {
-				word &= mask
-			}
+		cur := f.cur
+		h.ParFor(cur.Words(), func(tid, w int) {
+			word := cur.MaskedWord(w)
 			for word != 0 {
 				fn(tid, graph.NodeID(w*64+bits.TrailingZeros64(word)))
 				word &= word - 1
