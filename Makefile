@@ -20,12 +20,13 @@ lint:
 	$(GO) run ./cmd/kimbapvet ./...
 
 # race covers the concurrency-heavy packages: the property maps, the
-# runtime's worker pool and bitsets, the transports, and the parallel
+# runtime's worker pool and bitsets, the transports, the parallel
 # ingestion pipeline (par pool, counting-sort build, partitioner,
-# generators).
+# generators), and the kvstore application harness.
 race:
 	$(GO) test -race ./internal/npm/... ./internal/runtime/... ./internal/comm/... \
-		./internal/par/... ./internal/graph/... ./internal/partition/... ./internal/gen/...
+		./internal/par/... ./internal/graph/... ./internal/partition/... ./internal/gen/... \
+		./internal/kvstore/...
 
 ci: build test lint race
 

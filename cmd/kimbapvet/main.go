@@ -3,11 +3,17 @@
 //
 //	go run ./cmd/kimbapvet ./...
 //
-// It checks the concurrency and operator invariants the Go compiler
-// cannot see (see DESIGN.md "Checked invariants"): atomicmix,
-// lockdiscipline, cautiousop, and conflictfree. Patterns default to
-// ./...; -only runs a comma-separated subset of analyzers. The exit
-// status is 1 if any diagnostic is reported.
+// It checks the concurrency, communication, and operator invariants the
+// Go compiler cannot see (see DESIGN.md "Checked invariants"):
+// atomicmix, bufownership, cautiousop, conflictfree, deterministic,
+// lockdiscipline, phaseorder, and wiretag. Patterns default to ./...;
+// -only runs a comma-separated subset of analyzers; -json emits one JSON
+// record per diagnostic for CI tooling. The exit status is 1 if any
+// diagnostic is reported, 2 on usage or load errors.
+//
+// Diagnostics are suppressed by a //kimbapvet:ignore directive on the
+// offending line or the line above; the directive must carry a reason
+// after " -- " or it is itself reported.
 //
 // kimbapvet must run from inside the module (it resolves packages with
 // `go list` and type-checks them from source, fully offline).
@@ -20,26 +26,37 @@ import (
 	"strings"
 
 	"kimbap/internal/analysis/atomicmix"
+	"kimbap/internal/analysis/bufownership"
 	"kimbap/internal/analysis/cautiousop"
 	"kimbap/internal/analysis/checker"
 	"kimbap/internal/analysis/conflictfree"
+	"kimbap/internal/analysis/deterministic"
 	"kimbap/internal/analysis/framework"
 	"kimbap/internal/analysis/load"
 	"kimbap/internal/analysis/lockdiscipline"
+	"kimbap/internal/analysis/phaseorder"
+	"kimbap/internal/analysis/wiretag"
 )
 
 var all = []*framework.Analyzer{
 	atomicmix.Analyzer,
+	bufownership.Analyzer,
 	cautiousop.Analyzer,
 	conflictfree.Analyzer,
+	deterministic.Analyzer,
 	lockdiscipline.Analyzer,
+	phaseorder.Analyzer,
+	wiretag.Analyzer,
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON records ({analyzer,pos,message}, one per line)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: kimbapvet [-only a,b] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: kimbapvet [-only a,b] [-json] [-list] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nAnalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -61,12 +78,20 @@ func main() {
 		}
 		analyzers = nil
 		for _, name := range strings.Split(*only, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "kimbapvet: unknown analyzer %q\n", name)
+				fmt.Fprintf(os.Stderr, "kimbapvet: unknown analyzer %q (run -list for names)\n", name)
 				os.Exit(2)
 			}
 			analyzers = append(analyzers, a)
+		}
+		if len(analyzers) == 0 {
+			fmt.Fprintf(os.Stderr, "kimbapvet: -only named no analyzers\n")
+			os.Exit(2)
 		}
 	}
 
@@ -90,7 +115,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kimbapvet: %v\n", err)
 		os.Exit(2)
 	}
-	if checker.Print(os.Stdout, prog.Fset, diags) {
+	print := checker.Print
+	if *jsonOut {
+		print = checker.PrintJSON
+	}
+	if print(os.Stdout, prog.Fset, diags) {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,12 @@
+package bufownership_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/analysistest"
+	"kimbap/internal/analysis/bufownership"
+)
+
+func TestBufOwnership(t *testing.T) {
+	analysistest.Run(t, bufownership.Analyzer, "bufownership")
+}

@@ -1,0 +1,357 @@
+// Package cfg builds basic-block control-flow graphs from Go function
+// bodies for the kimbapvet dataflow analyzers. It is a deliberately small
+// subset of golang.org/x/tools/go/cfg (which this module cannot depend
+// on): structured control flow only. Build reports ok=false on goto and
+// labeled statements — the analyzers that consume these graphs skip such
+// functions, exactly as lockdiscipline bails on them — and none of the
+// checked packages use either.
+//
+// Blocks hold ast.Nodes rather than statements: a control statement (if,
+// for, range, switch, select) appears as the head node of its condition
+// block, and each case/comm clause marker opens its clause's block.
+// Consumers must therefore walk block nodes with ShallowWalk, which
+// visits only the parts of a head node evaluated at that program point
+// (an if's condition, a range's operand, a case clause's label
+// expressions) and never descends into nested statement bodies — those
+// live in their own blocks.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is a maximal straight-line sequence of nodes with a single entry.
+type Block struct {
+	// Index is the construction-order identifier, roughly source order;
+	// analyzers iterate blocks by Index for deterministic reporting.
+	Index int
+	// Nodes are the statements (and control-statement heads / clause
+	// markers) executed in order within the block.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is a synthetic empty block: every return statement and the
+	// fall-off-the-end path lead to it.
+	Exit *Block
+	// Blocks lists every block in construction order, including blocks
+	// made unreachable by return/panic.
+	Blocks []*Block
+}
+
+// Build constructs the CFG of body. ok is false if body contains a goto
+// or labeled statement (including labeled break/continue), in which case
+// the graph must not be used.
+func Build(body *ast.BlockStmt) (*Graph, bool) {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, b.g.Exit)
+	return b.g, !b.failed
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	breaks []*Block // innermost-last break targets (loops and switches)
+	conts  []*Block // innermost-last continue targets (loops only)
+	// ftTarget is the next case's block while building a switch case, the
+	// target of a fallthrough statement.
+	ftTarget *Block
+	failed   bool
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// deadEnd parks the builder on a fresh unreachable block after a
+// terminating statement (return, break, panic), so trailing statements
+// attach somewhere without reaching the rest of the graph.
+func (b *builder) deadEnd() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if b.failed {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.cur
+		head.Nodes = append(head.Nodes, s)
+		merge := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.edge(b.cur, merge)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, merge)
+		} else {
+			b.edge(head, merge)
+		}
+		b.cur = merge
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		// The latch runs the post statement; continue jumps to it so the
+		// post still executes.
+		latch := head
+		if s.Post != nil {
+			latch = b.newBlock()
+			latch.Nodes = append(latch.Nodes, s.Post)
+			b.edge(latch, head)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breaks = append(b.breaks, after)
+		b.conts = append(b.conts, latch)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, latch)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.breaks = append(b.breaks, after)
+		b.conts = append(b.conts, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s, s.Body)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.breaks = append(b.breaks, after)
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			clB := b.newBlock()
+			b.edge(head, clB)
+			clB.Nodes = append(clB.Nodes, comm)
+			b.cur = clB
+			b.stmts(comm.Body)
+			b.edge(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 {
+			b.edge(head, after) // select{} never proceeds, but keep the graph connected
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.deadEnd()
+
+	case *ast.BranchStmt:
+		if s.Label != nil {
+			b.failed = true
+			return
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if n := len(b.breaks); n > 0 {
+				b.edge(b.cur, b.breaks[n-1])
+			}
+			b.deadEnd()
+		case token.CONTINUE:
+			if n := len(b.conts); n > 0 {
+				b.edge(b.cur, b.conts[n-1])
+			}
+			b.deadEnd()
+		case token.FALLTHROUGH:
+			if b.ftTarget != nil {
+				b.edge(b.cur, b.ftTarget)
+			}
+			b.deadEnd()
+		case token.GOTO:
+			b.failed = true
+		}
+
+	case *ast.LabeledStmt:
+		b.failed = true
+
+	default:
+		// Simple statements: expression, assignment, declaration, send,
+		// inc/dec, defer, go, empty.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicStmt(s) {
+			b.edge(b.cur, b.g.Exit)
+			b.deadEnd()
+		}
+	}
+}
+
+// switchStmt builds an expression or type switch: head -> every case
+// block -> after, with head -> after when no default case exists.
+func (b *builder) switchStmt(init ast.Stmt, head ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	headB := b.cur
+	headB.Nodes = append(headB.Nodes, head)
+	after := b.newBlock()
+	// Create case blocks first so fallthrough can target the next one.
+	caseBlocks := make([]*Block, len(body.List))
+	hasDefault := false
+	for i, cl := range body.List {
+		caseBlocks[i] = b.newBlock()
+		b.edge(headB, caseBlocks[i])
+		if len(cl.(*ast.CaseClause).List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(headB, after)
+	}
+	b.breaks = append(b.breaks, after)
+	savedFT := b.ftTarget
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		b.ftTarget = nil
+		if i+1 < len(caseBlocks) {
+			b.ftTarget = caseBlocks[i+1]
+		}
+		caseBlocks[i].Nodes = append(caseBlocks[i].Nodes, cc)
+		b.cur = caseBlocks[i]
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.ftTarget = savedFT
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// isPanicStmt reports whether s is a direct call to the panic builtin.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// ShallowWalk visits the parts of a block node evaluated at its program
+// point: for control-statement heads only the condition/operand (never
+// nested bodies, which occupy their own blocks), for everything else the
+// whole node. fn follows ast.Inspect semantics — returning false skips
+// the node's children — except that function literals are visited as
+// nodes but never entered: a literal's body executes when called, not
+// where written, so dataflow transfer functions must handle literals
+// explicitly if they care.
+func ShallowWalk(n ast.Node, fn func(ast.Node) bool) {
+	switch s := n.(type) {
+	case *ast.IfStmt:
+		walkNoFuncLit(s.Cond, fn)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			walkNoFuncLit(s.Cond, fn)
+		}
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			walkNoFuncLit(s.Key, fn)
+		}
+		if s.Value != nil {
+			walkNoFuncLit(s.Value, fn)
+		}
+		walkNoFuncLit(s.X, fn)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			walkNoFuncLit(s.Tag, fn)
+		}
+	case *ast.TypeSwitchStmt:
+		walkNoFuncLit(s.Assign, fn)
+	case *ast.SelectStmt:
+		// Nothing evaluated at the head; comm clauses are block markers.
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			walkNoFuncLit(e, fn)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			walkNoFuncLit(s.Comm, fn)
+		}
+	default:
+		walkNoFuncLit(n, fn)
+	}
+}
+
+func walkNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if !fn(m) {
+			return false
+		}
+		_, isLit := m.(*ast.FuncLit)
+		return !isLit
+	})
+}

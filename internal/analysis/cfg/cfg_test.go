@@ -1,0 +1,174 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of its first
+// function declaration.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package p\nfunc f() {\n"+body+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g, ok := Build(parseBody(t, "x := 1\nx++\n_ = x"))
+	if !ok {
+		t.Fatal("Build failed on straight-line code")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if !reachable(g)[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestIfElseMerges(t *testing.T) {
+	g, ok := Build(parseBody(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x"))
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	// Entry holds the init assignment and the if head with two branch
+	// successors; both branches must rejoin before the final statement.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(g.Entry.Succs))
+	}
+	m0, m1 := g.Entry.Succs[0].Succs, g.Entry.Succs[1].Succs
+	if len(m0) != 1 || len(m1) != 1 || m0[0] != m1[0] {
+		t.Errorf("branches do not merge: %v vs %v", m0, m1)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g, ok := Build(parseBody(t, "for i := 0; i < 3; i++ {\n_ = i\n}"))
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	// Find the loop head (the block holding the ForStmt) and check a
+	// cycle exists back to it.
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, isFor := n.(*ast.ForStmt); isFor {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head block")
+	}
+	onCycle := false
+	for b := range reachable(g) {
+		if b == head {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == head && len(b.Nodes) > 0 {
+				onCycle = true
+			}
+		}
+	}
+	if !onCycle {
+		t.Error("no back edge to the loop head")
+	}
+}
+
+func TestReturnLeadsToExit(t *testing.T) {
+	g, ok := Build(parseBody(t, "if true {\nreturn\n}\n_ = 1"))
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, isRet := n.(*ast.ReturnStmt); isRet {
+				for _, s := range b.Succs {
+					if s == g.Exit {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("return block has no edge to exit")
+	}
+}
+
+func TestSwitchNoDefaultSkips(t *testing.T) {
+	g, ok := Build(parseBody(t, "x := 1\nswitch x {\ncase 1:\nx = 2\ncase 2:\nx = 3\n}\n_ = x"))
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	// The head must have three successors: two cases plus the skip edge.
+	if len(g.Entry.Succs) != 3 {
+		t.Errorf("switch head has %d successors, want 3 (2 cases + no-default skip)", len(g.Entry.Succs))
+	}
+}
+
+func TestBailsOnGotoAndLabels(t *testing.T) {
+	if _, ok := Build(parseBody(t, "goto done\ndone:\n_ = 1")); ok {
+		t.Error("Build accepted goto")
+	}
+	if _, ok := Build(parseBody(t, "outer:\nfor {\nbreak outer\n}")); ok {
+		t.Error("Build accepted a labeled statement")
+	}
+}
+
+func TestShallowWalkSkipsBodies(t *testing.T) {
+	body := parseBody(t, "if f := func() { panic(1) }; f != nil {\n_ = f\n}")
+	g, ok := Build(body)
+	if !ok {
+		t.Fatal("Build failed")
+	}
+	// Walk every node of every block shallowly: the panic call inside the
+	// function literal must never surface, the literal itself must.
+	sawLit, sawPanic := false, false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ShallowWalk(n, func(m ast.Node) bool {
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					sawLit = true
+				}
+				if c, isCall := m.(*ast.CallExpr); isCall {
+					if id, isID := c.Fun.(*ast.Ident); isID && id.Name == "panic" {
+						sawPanic = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !sawLit {
+		t.Error("ShallowWalk never visited the function literal node")
+	}
+	if sawPanic {
+		t.Error("ShallowWalk descended into a function literal body")
+	}
+}

@@ -1,0 +1,68 @@
+package checker
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kimbap/internal/analysis/framework"
+	"kimbap/internal/analysis/load"
+)
+
+// dummy flags every function whose name starts with "Bad", giving the
+// suppression machinery something to suppress.
+var dummy = &framework.Analyzer{
+	Name: "dummy",
+	Doc:  "flag functions named Bad*",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Name.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressionLint(t *testing.T) {
+	prog, err := load.NewProgram()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "suppressions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.LoadDir("kimbapvet.test/suppressions", dir)
+	if err != nil {
+		t.Fatalf("load testdata: %v", err)
+	}
+	diags, err := Run(prog, []*load.Package{pkg}, []*framework.Analyzer{dummy})
+	if err != nil {
+		t.Fatalf("checker.Run: %v", err)
+	}
+
+	var suppressionDiags, dummyDiags []string
+	for _, d := range diags {
+		switch d.Analyzer {
+		case SuppressionsName:
+			suppressionDiags = append(suppressionDiags, d.Message)
+		case "dummy":
+			dummyDiags = append(dummyDiags, d.Message)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d.Message)
+		}
+	}
+	// BadBare and BadEmptyReason carry undocumented directives: two
+	// suppression diagnostics.
+	if len(suppressionDiags) != 2 {
+		t.Errorf("got %d suppression diagnostics, want 2: %v", len(suppressionDiags), suppressionDiags)
+	}
+	// Every Bad* function is suppressed except BadOpen.
+	if len(dummyDiags) != 1 || !strings.Contains(dummyDiags[0], "BadOpen") {
+		t.Errorf("got dummy diagnostics %v, want exactly one naming BadOpen", dummyDiags)
+	}
+}

@@ -1,0 +1,17 @@
+// Package suppressions exercises the checker's suppression-lint: a
+// //kimbapvet:ignore directive must carry a `-- reason` to be considered
+// documented; a bare one still suppresses but is itself reported.
+package suppressions
+
+//kimbapvet:ignore dummy -- documented: this finding is a false positive here
+func BadDocumented() {}
+
+//kimbapvet:ignore dummy
+func BadBare() {}
+
+//kimbapvet:ignore dummy --
+func BadEmptyReason() {}
+
+func BadOpen() {}
+
+func Fine() {}

@@ -1,0 +1,61 @@
+// Package dataflow is a small forward dataflow engine over cfg graphs for
+// the kimbapvet analyzers. It computes a fixpoint of per-block input
+// states under a caller-supplied join and transfer, in the usual
+// round-robin worklist style. Analyzers use it in two phases: solve for
+// the block input states, then replay the transfer over each block with
+// reporting enabled — the replay sees every statement under its
+// fixpoint-correct incoming state, so diagnostics carry precise
+// positions.
+package dataflow
+
+import (
+	"go/ast"
+
+	"kimbap/internal/analysis/cfg"
+)
+
+// Spec defines one forward may/must analysis over states of type S.
+// States are owned by the engine once passed in: Transfer and Join may
+// mutate their first argument and must return it (or a replacement).
+type Spec[S any] struct {
+	// Init is the state on entry to the function.
+	Init S
+	// Clone deep-copies a state.
+	Clone func(S) S
+	// Join merges src into dst and reports whether dst changed. src must
+	// not be retained.
+	Join func(dst, src S) (S, bool)
+	// Transfer applies one block node to the state. Control-statement
+	// head nodes must be walked with cfg.ShallowWalk.
+	Transfer func(s S, n ast.Node) S
+}
+
+// Forward solves the analysis over g and returns each reachable block's
+// input state. Blocks unreachable from the entry have no map entry.
+func Forward[S any](g *cfg.Graph, sp Spec[S]) map[*cfg.Block]S {
+	in := map[*cfg.Block]S{g.Entry: sp.Clone(sp.Init)}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			s, ok := in[b]
+			if !ok {
+				continue
+			}
+			out := sp.Clone(s)
+			for _, n := range b.Nodes {
+				out = sp.Transfer(out, n)
+			}
+			for _, succ := range b.Succs {
+				if cur, ok := in[succ]; ok {
+					merged, ch := sp.Join(cur, sp.Clone(out))
+					in[succ] = merged
+					changed = changed || ch
+				} else {
+					in[succ] = sp.Clone(out)
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}

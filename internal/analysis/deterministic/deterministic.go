@@ -1,0 +1,220 @@
+// Package deterministic machine-checks the replay contract (DESIGN.md
+// §11): a function annotated
+//
+//	//kimbap:deterministic
+//
+// in its doc comment must produce identical results run to run — the
+// property the deterministic generators and the ingestion pipeline sell
+// (seeded graphs are the test oracle; a flaky generator poisons every
+// tier above it). The analyzer proves the annotated function reaches,
+// through any statically resolvable call, no source of run-to-run
+// variation:
+//
+//   - ranging over a map (iteration order is randomized per run);
+//   - select statements and channel receives (arrival order races);
+//   - the time package;
+//   - math/rand and math/rand/v2 (the deterministic code paths thread
+//     counter-based PRNGs instead).
+//
+// Calls into internal/par and internal/runtime dispatch machinery are
+// cut — the pool uses channels by construction, and its contract is that
+// a conflict-free worker body yields deterministic results — but closure
+// literals written at the call site are still part of the annotated body
+// and are scanned. The call graph is first-order, as in conflictfree:
+// interface and function-value calls are not resolved. Results are
+// memoized as object facts, so shared helpers are proven once per
+// checker run.
+package deterministic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kimbap/internal/analysis/framework"
+	"kimbap/internal/analysis/load"
+)
+
+// Analyzer is the deterministic check.
+var Analyzer = &framework.Analyzer{
+	Name: "deterministic",
+	Doc:  "prove //kimbap:deterministic functions reach no map iteration, channel ordering, time, or math/rand (§11)",
+	Run:  run,
+}
+
+const annotation = "//kimbap:deterministic"
+
+// resultFact memoizes the verdict for one function across packages: an
+// empty Path means proven deterministic.
+type resultFact struct{ Path []string }
+
+func (*resultFact) AFact() {}
+
+func run(pass *framework.Pass) error {
+	c := &checker{
+		pass:    pass,
+		results: map[*types.Func][]string{},
+		active:  map[*types.Func]bool{},
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !annotated(decl.Doc) {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if path := c.check(fn.Origin(), decl, pass.Pkg); path != nil {
+				pass.Reportf(decl.Name.Pos(),
+					"%s violated: %s", annotation, strings.Join(path, " -> "))
+			}
+		}
+	}
+	return nil
+}
+
+func annotated(g *ast.CommentGroup) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), annotation) {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *framework.Pass
+	// results memoizes the offending chain from each function within this
+	// Run; resultFact object facts memoize across packages.
+	results map[*types.Func][]string
+	active  map[*types.Func]bool // recursion guard
+}
+
+// check returns the chain from fn to a nondeterminism source, or nil.
+func (c *checker) check(fn *types.Func, decl *ast.FuncDecl, pkg *load.Package) []string {
+	if path, done := c.results[fn]; done {
+		return path
+	}
+	var memo resultFact
+	if c.pass.ImportObjectFact(fn, &memo) {
+		c.results[fn] = nilIfEmpty(memo.Path)
+		return c.results[fn]
+	}
+	if c.active[fn] {
+		return nil // a cycle adds no new sources
+	}
+	c.active[fn] = true
+	defer delete(c.active, fn)
+
+	path := c.scan(fnName(fn), decl.Body, pkg)
+	c.results[fn] = path
+	c.pass.ExportObjectFact(fn, &resultFact{Path: path})
+	return path
+}
+
+// scan walks one body and returns the chain from root to a source of
+// nondeterminism, or nil. Function literals in the body are scanned as
+// part of it.
+func (c *checker) scan(root string, body ast.Node, pkg *load.Package) []string {
+	var path []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if path != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			switch pkg.Info.TypeOf(n.X).Underlying().(type) {
+			case *types.Map:
+				path = []string{root, "ranges over a map (iteration order is randomized per run)"}
+				return false
+			case *types.Chan:
+				path = []string{root, "ranges over a channel (arrival order races)"}
+				return false
+			}
+		case *ast.SelectStmt:
+			path = []string{root, "selects over channels (case choice races)"}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				path = []string{root, "receives from a channel (arrival order races)"}
+				return false
+			}
+		case *ast.CallExpr:
+			path = c.call(root, n, pkg)
+			if path != nil {
+				return false
+			}
+		}
+		return true
+	})
+	return path
+}
+
+// call classifies one call: a banned package, a cut dispatch, or a
+// callee to descend into.
+func (c *checker) call(root string, call *ast.CallExpr, pkg *load.Package) []string {
+	callee := calleeFunc(pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return nil
+	}
+	cp := callee.Pkg().Path()
+	pkgLevel := callee.Type().(*types.Signature).Recv() == nil
+	switch {
+	// Methods are exempt: accessors on a time.Time value are pure, and a
+	// seeded *rand.Rand replays; the variation enters through the
+	// package-level clock and global stream.
+	case cp == "time" && pkgLevel:
+		return []string{root, "calls time." + callee.Name()}
+	case (cp == "math/rand" || cp == "math/rand/v2") && pkgLevel:
+		return []string{root, "calls rand." + callee.Name() + " (thread a counter-based PRNG instead)"}
+	case strings.HasSuffix(cp, "internal/par") || strings.HasSuffix(cp, "internal/runtime"):
+		return nil // dispatch machinery: cut; its closures are in this body
+	}
+	calleeDecl, calleePkg := c.pass.Prog.FuncDecl(callee)
+	if calleeDecl == nil || calleeDecl.Body == nil {
+		return nil // no source: interface method or stdlib; assumed clean
+	}
+	if sub := c.check(callee.Origin(), calleeDecl, calleePkg); sub != nil {
+		return append([]string{root}, sub...)
+	}
+	return nil
+}
+
+func nilIfEmpty(p []string) []string {
+	if len(p) == 0 {
+		return nil
+	}
+	return p
+}
+
+// calleeFunc resolves a call to its static *types.Func, if possible.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func fnName(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

@@ -1,0 +1,12 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/analysistest"
+	"kimbap/internal/analysis/deterministic"
+)
+
+func TestDeterministic(t *testing.T) {
+	analysistest.Run(t, deterministic.Analyzer, "deterministic")
+}

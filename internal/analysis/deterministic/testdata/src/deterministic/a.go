@@ -1,0 +1,109 @@
+// Package deterministic exercises the §11 replay-contract analyzer:
+// direct and transitive map iteration (the PR 4 generator near-miss),
+// time and math/rand, channel ordering, and the dispatch cut.
+package deterministic
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"kimbap/internal/par"
+)
+
+// degreeHistogram is the generator near-miss: accumulating counts in a
+// map and ranging over it makes the emitted edge order differ run to
+// run.
+//
+//kimbap:deterministic
+func degreeHistogram(deg map[int]int) []int { // want `ranges over a map`
+	var out []int
+	for d, n := range deg {
+		for i := 0; i < n; i++ {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// sortedHistogram fixes it: extract keys, sort, then walk slices only.
+//
+//kimbap:deterministic
+func sortedHistogram(deg []int) []int {
+	out := append([]int(nil), deg...)
+	sort.Ints(out)
+	return out
+}
+
+// viaHelper reaches the map iteration two calls down.
+//
+//kimbap:deterministic
+func viaHelper(deg map[int]int) int { // want `ranges over a map`
+	return countAll(deg)
+}
+
+func countAll(deg map[int]int) int { return sumValues(deg) }
+
+func sumValues(deg map[int]int) int {
+	total := 0
+	for _, n := range deg {
+		total += n
+	}
+	return total
+}
+
+// stamped reaches for the wall clock.
+//
+//kimbap:deterministic
+func stamped() int64 { // want `calls time\.Now`
+	return time.Now().UnixNano()
+}
+
+// shuffled uses the global math/rand stream.
+//
+//kimbap:deterministic
+func shuffled(a []int) { // want `calls rand\.Shuffle`
+	rand.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+}
+
+// raced lets channel arrival order pick the result.
+//
+//kimbap:deterministic
+func raced(a, b chan int) int { // want `selects over channels`
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// drained receives from a channel outside any select.
+//
+//kimbap:deterministic
+func drained(c chan int) int { // want `receives from a channel`
+	return <-c
+}
+
+// fanOut is clean: the par machinery is cut (its channels are the
+// pool's, not the algorithm's) and the worker body is pure.
+//
+//kimbap:deterministic
+func fanOut(a []int) {
+	par.Do(2, func(w int) {
+		for i := w; i < len(a); i += 2 {
+			a[i] *= 2
+		}
+	})
+}
+
+// fanOutDirty still has its closure scanned through the cut.
+//
+//kimbap:deterministic
+func fanOutDirty(m map[int]int) { // want `ranges over a map`
+	par.Do(2, func(w int) {
+		for k := range m {
+			_ = k
+		}
+	})
+}

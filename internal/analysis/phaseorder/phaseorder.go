@@ -1,0 +1,515 @@
+// Package phaseorder machine-checks the BSP phase discipline (DESIGN.md
+// §9): a superstep's npm Reduce calls buffer thread-local deltas that
+// only become visible — and only stop referencing frontier state — after
+// ReduceSync, so Frontier.Advance with an un-synced Reduce pending
+// reorders the round. Likewise comm SendBuffered stages bytes that are
+// not on the wire until FlushSends, so a Recv (or a function return)
+// with staged sends pending deadlocks or drops the tail of the round.
+// Finally, per-node Frontier.Activate is only meaningful from a
+// dispatched operator closure or from a decode path that owns the
+// frontier (a FrontierSink); activation from sequential driver code is
+// almost always a missed ParForActive.
+//
+// The first two rules run as a forward may-dataflow over each function's
+// CFG. Closures handed to the runtime's Time* sections are inlined (they
+// run synchronously, exactly once); closures handed to dispatch
+// primitives (ParFor*, par.Do/Static/Dynamic/PrefixSum) are scanned for
+// the effects they contribute (Reduce, SendBuffered) without applying
+// their clears, since the dispatch order is not sequential. The Activate
+// rule is a separate syntactic check per declaration.
+//
+// The internal/comm and internal/runtime packages themselves are exempt:
+// they implement the primitives the discipline is about.
+package phaseorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kimbap/internal/analysis/cfg"
+	"kimbap/internal/analysis/dataflow"
+	"kimbap/internal/analysis/framework"
+)
+
+// Analyzer is the phaseorder check.
+var Analyzer = &framework.Analyzer{
+	Name: "phaseorder",
+	Doc:  "enforce BSP phase order: ReduceSync before Advance, FlushSends before Recv or return, Activate only from operators or decoders (§9)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	p := pass.Pkg.Path
+	if strings.HasSuffix(p, "internal/comm") || strings.HasSuffix(p, "internal/runtime") {
+		return nil // the layers implementing the primitives are exempt
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			c := &checker{
+				pass:     pass,
+				info:     pass.Pkg.Info,
+				lits:     namedLits(decl.Body),
+				reported: map[string]bool{},
+			}
+			c.analyzeBody(decl.Body, true)
+			// Function literals also get a standalone pass from an empty
+			// state, so Advance/Recv misorderings inside a closure are
+			// caught even when its call site is out of view. The exit
+			// check does not apply: an operator closure legitimately
+			// stages sends for its caller to flush after the dispatch.
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.analyzeBody(lit.Body, false)
+				}
+				return true
+			})
+			c.checkActivate(decl)
+		}
+	}
+	return nil
+}
+
+// state is the per-program-point may-set of pending phase obligations.
+type state struct {
+	// reduces maps a Map receiver's source path to its first un-synced
+	// Reduce position.
+	reduces map[string]token.Pos
+	// staged maps a sender receiver's source path to its first unflushed
+	// SendBuffered position.
+	staged map[string]token.Pos
+}
+
+func newState() state {
+	return state{reduces: map[string]token.Pos{}, staged: map[string]token.Pos{}}
+}
+
+func cloneState(s state) state {
+	out := newState()
+	for k, v := range s.reduces {
+		out.reduces[k] = v
+	}
+	for k, v := range s.staged {
+		out.staged[k] = v
+	}
+	return out
+}
+
+func joinState(dst, src state) (state, bool) {
+	changed := false
+	for k, v := range src.reduces {
+		if _, ok := dst.reduces[k]; !ok {
+			dst.reduces[k] = v
+			changed = true
+		}
+	}
+	for k, v := range src.staged {
+		if _, ok := dst.staged[k]; !ok {
+			dst.staged[k] = v
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+type checker struct {
+	pass *framework.Pass
+	info *types.Info
+	// lits resolves closure-valued locals (body := func(...){...}) so a
+	// dispatch by name — h.ParForActive(fr, body) — scans the right body.
+	lits      map[string]*ast.FuncLit
+	reporting bool
+	reported  map[string]bool
+}
+
+func (c *checker) analyzeBody(body *ast.BlockStmt, exitCheck bool) {
+	g, ok := cfg.Build(body)
+	if !ok {
+		return // goto/labels: out of scope, as in the other CFG analyzers
+	}
+	sp := dataflow.Spec[state]{
+		Init:  newState(),
+		Clone: cloneState,
+		Join:  joinState,
+		Transfer: func(s state, n ast.Node) state {
+			c.transfer(s, n)
+			return s
+		},
+	}
+	states := dataflow.Forward(g, sp)
+	c.reporting = true
+	for _, b := range g.Blocks {
+		s, ok := states[b]
+		if !ok {
+			continue
+		}
+		s = cloneState(s)
+		for _, n := range b.Nodes {
+			c.transfer(s, n)
+		}
+		// At function exit, staged sends must have been flushed on every
+		// path: the bytes are sitting in a local buffer nobody owns.
+		if !exitCheck {
+			continue
+		}
+		exits := false
+		for _, succ := range b.Succs {
+			if succ == g.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		pos := body.Rbrace
+		if n := len(b.Nodes); n > 0 {
+			if ret, isRet := b.Nodes[n-1].(*ast.ReturnStmt); isRet {
+				pos = ret.Pos()
+			}
+		}
+		for _, e := range sortedPend(s.staged) {
+			c.reportf("exit", e.pos, pos,
+				"staged sends on %s are never flushed on this path (SendBuffered at %s); call FlushSends before returning — staged bytes are not on the wire",
+				e.k, c.pass.Fset().Position(e.pos))
+		}
+	}
+	c.reporting = false
+}
+
+func (c *checker) transfer(s state, n ast.Node) {
+	cfg.ShallowWalk(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			c.applyCall(s, call, true)
+		}
+		return true
+	})
+}
+
+// applyCall classifies one call and applies its phase effects. ordered
+// reports diagnostics and applies clearing effects (ReduceSync,
+// FlushSends); it is false while scanning a dispatched closure, whose
+// concurrent iterations only contribute obligations.
+func (c *checker) applyCall(s state, call *ast.CallExpr, ordered bool) {
+	fn := calleeFunc(c.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case strings.HasSuffix(pkg, "internal/npm"):
+		switch name {
+		case "Reduce":
+			if k, ok := recvKey(call); ok {
+				if _, pending := s.reduces[k]; !pending {
+					s.reduces[k] = call.Pos()
+				}
+			}
+		case "ReduceSync":
+			if !ordered {
+				return
+			}
+			if k, ok := recvKey(call); ok {
+				delete(s.reduces, k)
+			}
+		}
+	case strings.HasSuffix(pkg, "internal/runtime"):
+		switch {
+		case name == "Advance":
+			if !ordered {
+				return
+			}
+			for _, e := range sortedPend(s.reduces) {
+				c.reportf("advance", e.pos, call.Pos(),
+					"Frontier.Advance with an un-synced Reduce on %s (at %s); call ReduceSync before advancing the frontier",
+					e.k, c.pass.Fset().Position(e.pos))
+			}
+		case isDispatchName(name):
+			c.scanLitArgs(s, call, false)
+		case strings.HasPrefix(name, "Time"):
+			// Time* sections run their closure synchronously, once:
+			// inline its effects, clears and checks included.
+			c.scanLitArgs(s, call, ordered)
+		}
+	case strings.HasSuffix(pkg, "internal/comm"):
+		switch name {
+		case "SendBuffered":
+			if k, ok := recvKey(call); ok {
+				if _, pending := s.staged[k]; !pending {
+					s.staged[k] = call.Pos()
+				}
+			}
+		case "FlushSends", "flush", "Exchange", "ExchangeInto", "ExchangeFunc":
+			// The exchange helpers flush internally; a flush on any
+			// endpoint view clears staged sends path-insensitively (the
+			// sender is often re-derived via a type assertion).
+			if !ordered {
+				return
+			}
+			for k := range s.staged {
+				delete(s.staged, k)
+			}
+		case "Recv":
+			if !ordered {
+				return
+			}
+			for _, e := range sortedPend(s.staged) {
+				c.reportf("recv", e.pos, call.Pos(),
+					"Recv while sends staged on %s are unflushed (SendBuffered at %s); call FlushSends first or the round deadlocks",
+					e.k, c.pass.Fset().Position(e.pos))
+			}
+		}
+	case strings.HasSuffix(pkg, "internal/par") && isParDispatchName(name):
+		c.scanLitArgs(s, call, false)
+	}
+}
+
+// scanLitArgs applies the effects of every closure argument of call —
+// written literally or named — to s. ordered is forwarded: true only for
+// the synchronously-inlined Time* sections.
+func (c *checker) scanLitArgs(s state, call *ast.CallExpr, ordered bool) {
+	for _, a := range call.Args {
+		var lit *ast.FuncLit
+		switch arg := ast.Unparen(a).(type) {
+		case *ast.FuncLit:
+			lit = arg
+		case *ast.Ident:
+			lit = c.lits[arg.Name]
+		}
+		if lit == nil {
+			continue
+		}
+		c.scanBody(s, lit.Body, ordered)
+	}
+}
+
+// scanBody walks a closure body in source order applying call effects.
+// Nested function literals are not entered — except through a recognized
+// dispatch or Time* call, which applyCall handles itself.
+func (c *checker) scanBody(s state, body *ast.BlockStmt, ordered bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.applyCall(s, call, ordered)
+		}
+		return true
+	})
+}
+
+// checkActivate enforces the per-node activation contexts: a dispatched
+// operator closure, a method of a type that owns a frontier (it has a
+// SetFrontier method — the FrontierSink decode side), or the runtime
+// package itself (excluded at the package level in run).
+func (c *checker) checkActivate(decl *ast.FuncDecl) {
+	if c.ownsFrontier(decl) {
+		return
+	}
+	// Collect the closure literals that reach a dispatch primitive.
+	dispatched := map[*ast.FuncLit]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(c.info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg, name := fn.Pkg().Path(), fn.Name()
+		isDispatch := (strings.HasSuffix(pkg, "internal/runtime") && isDispatchName(name)) ||
+			(strings.HasSuffix(pkg, "internal/par") && isParDispatchName(name))
+		if !isDispatch {
+			return true
+		}
+		for _, a := range call.Args {
+			switch arg := ast.Unparen(a).(type) {
+			case *ast.FuncLit:
+				dispatched[arg] = true
+			case *ast.Ident:
+				if lit := c.lits[arg.Name]; lit != nil {
+					dispatched[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	var lits []*ast.FuncLit
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(c.info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Name() != "Activate" ||
+			!strings.HasSuffix(fn.Pkg().Path(), "internal/runtime") {
+			return true
+		}
+		// Legitimate if any enclosing closure was handed to a dispatch.
+		for _, lit := range lits {
+			if dispatched[lit] && lit.Body.Pos() <= call.Pos() && call.Pos() < lit.Body.End() {
+				return true
+			}
+		}
+		c.pass.Reportf(call.Pos(),
+			"Frontier.Activate outside an operator closure or frontier-owning decoder; per-node activation belongs in dispatched compute (use ActivateSet/ActivateAll for seeding)")
+		return true
+	})
+}
+
+// ownsFrontier reports whether decl is a method on a type that has a
+// SetFrontier method — the FrontierSink decode side, which activates
+// nodes as remote deltas arrive.
+func (c *checker) ownsFrontier(decl *ast.FuncDecl) bool {
+	if decl.Recv == nil {
+		return false
+	}
+	obj, ok := c.info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	found, _, _ := types.LookupFieldOrMethod(recv.Type(), true, c.pass.Pkg.Types, "SetFrontier")
+	_, isFn := found.(*types.Func)
+	return isFn
+}
+
+func isDispatchName(name string) bool {
+	switch name {
+	case "ParFor", "ParForNodes", "ParForMasters", "ParForActive":
+		return true
+	}
+	return false
+}
+
+func isParDispatchName(name string) bool {
+	switch name {
+	case "Do", "Static", "Dynamic", "PrefixSum":
+		return true
+	}
+	return false
+}
+
+// reportf reports once per (rule, obligation position): the same pending
+// Reduce may reach several Advance replays, and the same staged send may
+// reach several exits.
+func (c *checker) reportf(rule string, obligation, pos token.Pos, format string, args ...any) {
+	if !c.reporting {
+		return
+	}
+	k := rule + ":" + c.pass.Fset().Position(obligation).String() + ":" + c.pass.Fset().Position(pos).String()
+	if rule == "exit" {
+		// One report per leaked send, not one per exit path.
+		k = rule + ":" + c.pass.Fset().Position(obligation).String()
+	}
+	if c.reported[k] {
+		return
+	}
+	c.reported[k] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+type pend struct {
+	k   string
+	pos token.Pos
+}
+
+func sortedPend(m map[string]token.Pos) []pend {
+	out := make([]pend, 0, len(m))
+	for k, v := range m {
+		out = append(out, pend{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+// namedLits maps closure-valued locals assigned at most once (the
+// operator-body idiom: body := func(tid, src) {...}) to their literals.
+func namedLits(body *ast.BlockStmt) map[string]*ast.FuncLit {
+	lits := map[string]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, isLit := ast.Unparen(rhs).(*ast.FuncLit)
+			if !isLit {
+				continue
+			}
+			if id, isID := as.Lhs[i].(*ast.Ident); isID {
+				lits[id.Name] = lit
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// recvKey renders the receiver of a method call as a source path.
+func recvKey(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return exprKey(sel.X)
+}
+
+// exprKey renders an expression as a normalized source path.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		x, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return x + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		x, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		i, ok := exprKey(e.Index)
+		if !ok {
+			return "", false
+		}
+		return x + "[" + i + "]", true
+	case *ast.StarExpr:
+		x, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return "*" + x, true
+	}
+	return "", false
+}
+
+// calleeFunc resolves a call to its static *types.Func, if possible.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

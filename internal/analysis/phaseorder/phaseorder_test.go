@@ -1,0 +1,12 @@
+package phaseorder_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/analysistest"
+	"kimbap/internal/analysis/phaseorder"
+)
+
+func TestPhaseOrder(t *testing.T) {
+	analysistest.Run(t, phaseorder.Analyzer, "phaseorder")
+}

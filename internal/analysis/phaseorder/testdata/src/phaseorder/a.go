@@ -1,0 +1,110 @@
+// Package phaseorder exercises the §9 phase-discipline analyzer against
+// the real npm/runtime/comm APIs: un-synced Reduce at Advance, staged
+// sends at Recv or function exit, and per-node Activate from driver
+// code.
+package phaseorder
+
+import (
+	"kimbap/internal/comm"
+	"kimbap/internal/graph"
+	"kimbap/internal/npm"
+	"kimbap/internal/runtime"
+)
+
+// advanceWithoutSync is the basic misordering: the thread-local deltas
+// are still buffered when the frontier flips.
+func advanceWithoutSync(m npm.Map[uint32], fr *runtime.Frontier, n graph.NodeID) {
+	m.Reduce(0, n, 1)
+	fr.Advance() // want `Frontier\.Advance with an un-synced Reduce on m`
+}
+
+// advanceAfterDispatchedReduce hides the Reduce inside a dispatched
+// operator body named by a local, the usual algorithm shape.
+func advanceAfterDispatchedReduce(h *runtime.Host, m npm.Map[uint32], fr *runtime.Frontier) {
+	body := func(tid int, src graph.NodeID) {
+		m.Reduce(tid, src, 1)
+	}
+	h.TimeCompute(func() {
+		h.ParForActive(fr, body)
+	})
+	fr.Advance() // want `Frontier\.Advance with an un-synced Reduce on m`
+}
+
+// fullRound is the sanctioned superstep: compute, sync, broadcast,
+// advance.
+func fullRound(h *runtime.Host, m npm.Map[uint32], fr *runtime.Frontier) {
+	h.TimeCompute(func() {
+		h.ParForActive(fr, func(tid int, src graph.NodeID) {
+			m.Reduce(tid, src, 1)
+		})
+	})
+	m.ReduceSync()
+	m.BroadcastSync()
+	fr.Advance()
+}
+
+// seedRound: bulk activation before round zero has nothing to sync.
+func seedRound(fr *runtime.Frontier) {
+	fr.ActivateAll()
+	fr.Advance()
+}
+
+// recvWithStagedSends: the staged bytes are not on the wire, so waiting
+// for the peer's reply deadlocks the exchange.
+func recvWithStagedSends(bs comm.BufferedSender, ep comm.Endpoint) []byte {
+	bs.SendBuffered(1, comm.TagApp, []byte{1})
+	in := ep.Recv(1, comm.TagApp) // want `Recv while sends staged on bs are unflushed`
+	bs.FlushSends()
+	return in
+}
+
+// flushedRecv is the correct order.
+func flushedRecv(bs comm.BufferedSender, ep comm.Endpoint) []byte {
+	bs.SendBuffered(1, comm.TagApp, []byte{1})
+	bs.FlushSends()
+	return ep.Recv(1, comm.TagApp)
+}
+
+// leakOnOnePath flushes on only one branch; the may-analysis catches the
+// fall-through path at the function exit.
+func leakOnOnePath(bs comm.BufferedSender, eager bool) {
+	bs.SendBuffered(1, comm.TagApp, []byte{1})
+	if eager {
+		bs.FlushSends()
+	}
+} // want `staged sends on bs are never flushed on this path`
+
+// exchangeFlushes: the exchange helpers flush internally.
+func exchangeFlushes(bs comm.BufferedSender, ep comm.Endpoint, out [][]byte) {
+	bs.SendBuffered(0, comm.TagApp, []byte{1})
+	comm.ExchangeInto(ep, comm.TagApp, out, out)
+}
+
+// activateFromDriver: sequential per-node activation is a missed
+// ParForActive.
+func activateFromDriver(fr *runtime.Frontier, n graph.NodeID) {
+	fr.Activate(int(n)) // want `Frontier\.Activate outside an operator closure`
+}
+
+// activateFromOperator is the sanctioned context, named or literal.
+func activateFromOperator(h *runtime.Host, fr *runtime.Frontier) {
+	body := func(tid int, src graph.NodeID) {
+		fr.Activate(int(src))
+	}
+	h.ParForActive(fr, body)
+	h.ParForNodes(func(tid int, src graph.NodeID) {
+		fr.Activate(int(src))
+	})
+}
+
+// decoder owns a frontier (it has SetFrontier): the decode side may
+// activate nodes as remote deltas arrive.
+type decoder struct{ fr *runtime.Frontier }
+
+func (d *decoder) SetFrontier(f *runtime.Frontier) { d.fr = f }
+
+func (d *decoder) decode(ids []int) {
+	for _, i := range ids {
+		d.fr.Activate(i)
+	}
+}

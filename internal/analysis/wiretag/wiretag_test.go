@@ -1,0 +1,12 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"kimbap/internal/analysis/analysistest"
+	"kimbap/internal/analysis/wiretag"
+)
+
+func TestWireTag(t *testing.T) {
+	analysistest.Run(t, wiretag.Analyzer, "wiretag")
+}

@@ -45,6 +45,8 @@ type Tag uint8
 
 // Message tags used by the runtime. Distinct collectives running back to
 // back may reuse a tag; per-sender FIFO ordering keeps them separate.
+//
+//kimbap:wiregroup Tag
 const (
 	TagBarrier   Tag = iota // empty-payload synchronization
 	TagRequest              // node-property request bitsets
@@ -83,6 +85,7 @@ func (t Tag) String() string {
 // cluster-wide choice without importing the property-map package.
 type WireFormat uint8
 
+//kimbap:wiregroup WireFormat
 const (
 	// WireAuto picks the package default (currently WireV2).
 	WireAuto WireFormat = iota
@@ -189,19 +192,21 @@ func ExchangeInto(ep Endpoint, tag Tag, out, in [][]byte) [][]byte {
 	if len(out) != n {
 		panic(fmt.Sprintf("comm: Exchange out has %d entries for %d hosts", len(out), n))
 	}
-	bs, buffered := ep.(BufferedSender)
-	for i := 0; i < n; i++ {
-		if i == self {
-			continue
-		}
-		if buffered {
+	if bs, buffered := ep.(BufferedSender); buffered {
+		for i := 0; i < n; i++ {
+			if i == self {
+				continue
+			}
 			bs.SendBuffered(i, tag, out[i])
-		} else {
+		}
+		bs.FlushSends()
+	} else {
+		for i := 0; i < n; i++ {
+			if i == self {
+				continue
+			}
 			ep.Send(i, tag, out[i])
 		}
-	}
-	if buffered {
-		bs.FlushSends()
 	}
 	if len(in) != n {
 		in = make([][]byte, n)

@@ -35,6 +35,7 @@ func NewBuilderFromArrays(numNodes int, srcs, dsts []NodeID, weights []float64) 
 // FromArrays builds a CSR graph directly from edge columns with the given
 // worker count (0 = all cores). This is the partitioner's per-host path: it
 // fills exact-size columns in parallel and never goes through AddEdge.
+//kimbap:deterministic
 func FromArrays(numNodes int, srcs, dsts []NodeID, weights []float64, workers int) *Graph {
 	return NewBuilderFromArrays(numNodes, srcs, dsts, weights).SetWorkers(workers).Build()
 }
@@ -73,6 +74,7 @@ func (b *Builder) buildWorkers(m int) int {
 // Each worker counts the reversible edges in its static chunk; an exclusive
 // scan of the per-worker counts gives each chunk's write start, so the
 // reversed edges land in exactly the order SymmetrizeSerial appends them.
+//kimbap:deterministic
 func (b *Builder) Symmetrize() {
 	orig := len(b.srcs)
 	workers := b.buildWorkers(orig)
@@ -170,6 +172,7 @@ func (b *Builder) countingSortBySrc(workers int, offsets []int64, validateDst bo
 // Builder must not be reused afterwards. Neighbor lists are sorted by
 // destination (and weight, for weighted graphs); the output is
 // bit-identical to BuildSerial at every worker count.
+//kimbap:deterministic
 func (b *Builder) Build() *Graph {
 	n, m := b.numNodes, len(b.srcs)
 	workers := b.buildWorkers(m)
@@ -231,6 +234,7 @@ func (b *Builder) Build() *Graph {
 // sorted first-survivor edge list: exactly DedupSerial's output. Unlike
 // DedupSerial, this path validates sources eagerly (it must bucket by
 // them); out-of-range destinations are still caught by Build.
+//kimbap:deterministic
 func (b *Builder) Dedup() {
 	n, m := b.numNodes, len(b.srcs)
 	workers := b.buildWorkers(m)

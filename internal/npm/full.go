@@ -450,7 +450,7 @@ func (m *fullMap[V]) ReduceSync() {
 						v, sec = m.codec.Read(sec)
 						m.applyToMaster(base+graph.NodeID(d), v)
 					}
-				default:
+				case secV1:
 					for len(sec) > 0 {
 						var id uint32
 						id, sec = comm.ReadUint32(sec)

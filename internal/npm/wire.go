@@ -34,6 +34,8 @@ import (
 // nothing else; early dense rounds collapse per-key varints into one bit
 // each. Negotiation stays per payload: receivers switch on the tag, so
 // v1/v2/v2s senders coexist in one cluster.
+//
+//kimbap:wiregroup npmWire
 const (
 	wireV1  byte = 1
 	wireV2  byte = 2
@@ -41,6 +43,8 @@ const (
 )
 
 // Section body forms inside a v2s payload.
+//
+//kimbap:wiregroup sectionForm
 const (
 	sectionSparse byte = 0 // [uvarint count][count x (uvarint key-rel, value)]
 	sectionDense  byte = 1 // [uvarint maskBytes][mask][values, ascending key]
@@ -49,6 +53,7 @@ const (
 // sectionKind tells a gather thread how to decode its extracted section.
 type sectionKind byte
 
+//kimbap:wiregroup sectionKind
 const (
 	secV1 sectionKind = iota
 	secV2
@@ -332,6 +337,11 @@ func decodeIDList(payload []byte) idListDecoder {
 	if len(payload) == 0 {
 		return idListDecoder{}
 	}
+	// ID lists are only ever encoded v1 or v2: v2s is a reduce-payload
+	// format (section skipping and body forms have no meaning for a flat
+	// ID list), so appendIDList never emits it here.
+	//
+	//kimbapvet:ignore wiretag -- appendIDList emits only v1/v2; v2s is a reduce-payload format
 	switch payload[0] {
 	case wireV1:
 		return idListDecoder{b: payload[1:]}

@@ -30,12 +30,14 @@ import (
 
 // Partition splits g across numHosts hosts using the given policy, using
 // all cores. Output is bit-identical to PartitionSerial.
+//kimbap:deterministic
 func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
 	return PartitionWorkers(g, numHosts, policy, 0)
 }
 
 // PartitionWorkers is Partition with an explicit worker count (0 = all
 // cores). Output is identical at every worker count.
+//kimbap:deterministic
 func PartitionWorkers(g *graph.Graph, numHosts int, policy Policy, workers int) *Partitioned {
 	if numHosts < 1 {
 		panic("partition: numHosts must be >= 1")
