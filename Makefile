@@ -19,14 +19,19 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/kimbapvet ./...
 
-# race covers the concurrency-heavy packages: the property maps, the
-# runtime's worker pool and bitsets, the transports, the parallel
-# ingestion pipeline (par pool, counting-sort build, partitioner,
-# generators), and the kvstore application harness.
+# race covers the concurrency-heavy packages: the property maps (CAS
+# handle included), the runtime's worker pool, bitsets, and async drain
+# scheduler, the transports, the parallel ingestion pipeline (par pool,
+# Chase-Lev deques, counting-sort build, partitioner, generators), and
+# the kvstore application harness. The algorithms package is too slow to
+# race-test wholesale, so the second line runs just the execution-mode
+# equivalence matrix — the tests that hammer the async scheduler's
+# stealing and CAS paths across host and thread counts.
 race:
 	$(GO) test -race ./internal/npm/... ./internal/runtime/... ./internal/comm/... \
 		./internal/par/... ./internal/graph/... ./internal/partition/... ./internal/gen/... \
 		./internal/kvstore/...
+	$(GO) test -race -run 'Mode' ./internal/algorithms
 
 ci: build test lint race
 

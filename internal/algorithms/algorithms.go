@@ -45,7 +45,25 @@ type Config struct {
 	// LogRounds records per-BSP-round activity (active vertices, reduce
 	// bytes sent by this host) into the algorithm's stats.
 	LogRounds bool
+	// Mode selects the intra-host execution engine for the frontier-driven
+	// algorithms (CC-SV, CC-LP, CC-SCLP's shortcut, MIS). The zero value
+	// and ExecBSP run classic BSP rounds; ExecAsync drains each round with
+	// the priority scheduler (runtime.AsyncDrain) using CAS in-place
+	// applies; ExecAdaptive chooses per round from telemetry. Non-BSP
+	// modes silently fall back to BSP when the phase cannot support them
+	// (no frontier, non-Full variant, non-idempotent operator) — final
+	// outputs are bit-identical in every mode.
+	Mode Mode
 }
+
+// Mode names an intra-host execution engine (see Config.Mode).
+type Mode string
+
+const (
+	ExecBSP      Mode = "bsp"
+	ExecAsync    Mode = "async"
+	ExecAdaptive Mode = "adaptive"
+)
 
 // ReadStatsSink receives read-locality counters.
 type ReadStatsSink interface {
@@ -98,6 +116,9 @@ type RoundStats struct {
 	Active      []int64
 	ReduceBytes []int64
 	Hook        []bool
+	// Mode is the execution mode each round actually ran in ("bsp" or
+	// "async") — the policy trace under ExecAdaptive.
+	Mode []string
 }
 
 // roundLogger appends one RoundStats entry per record call, charging each
@@ -120,7 +141,7 @@ func reduceBytesSent(h *runtime.Host) int64 {
 	return b[comm.TagReduce]
 }
 
-func (r *roundLogger) record(active int, hook bool) {
+func (r *roundLogger) record(active int, hook bool, mode runtime.ExecMode) {
 	if r == nil {
 		return
 	}
@@ -128,6 +149,7 @@ func (r *roundLogger) record(active int, hook bool) {
 	r.out.Active = append(r.out.Active, int64(active))
 	r.out.ReduceBytes = append(r.out.ReduceBytes, now-r.prev)
 	r.out.Hook = append(r.out.Hook, hook)
+	r.out.Mode = append(r.out.Mode, mode.String())
 	r.prev = now
 }
 

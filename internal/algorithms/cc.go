@@ -40,6 +40,7 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	var stats CCStats
 	fr := cfg.newFrontier(h, parent)
 	rl := cfg.roundLogger(h, &stats.PerRound)
+	eng := cfg.newEngine(h, fr, parent)
 	// acc accumulates every proxy the shortcut phase changes, so the next
 	// outer round's hook phase can start from the changed set instead of a
 	// full re-activation (the first hook phase has no prior change record
@@ -52,8 +53,8 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	for {
 		stats.OuterRounds++
 		workDone.Set(false)
-		stats.HookRounds += ccHook(h, cfg, parent, &workDone, fr, seed, rl)
-		stats.ShortcutRounds += ccShortcut(h, cfg, parent, fr, acc, rl)
+		stats.HookRounds += ccHook(h, cfg, parent, &workDone, fr, seed, rl, eng)
+		stats.ShortcutRounds += ccShortcut(h, cfg, parent, fr, acc, rl, eng)
 		seed = acc
 		workDone.Sync(h.EP)
 		if !workDone.Read() || stats.OuterRounds >= cfg.maxRounds() {
@@ -86,9 +87,15 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 // dense loop) instead of doubling edge work when both endpoints changed.
 // The extra direction is a no-op for the dense loop's fixpoint (min-reduce
 // is idempotent), so labels stay identical.
+// Under a non-BSP engine, a round's compute phase may instead drain the
+// frontier asynchronously (see ccHookDrain): CAS in-place applies and
+// immediate re-enqueue collapse local hook cascades within the round,
+// while the per-round collective sequence (ReduceSync, BroadcastSync,
+// IsUpdated) is identical in both modes, so hosts running different modes
+// still meet at the same syncs.
 func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 	workDone *runtime.BoolReducer, fr *runtime.Frontier, seed *runtime.Bitset,
-	rl *roundLogger) int {
+	rl *roundLogger, eng *engine) int {
 
 	// Reset before pinning: PinMirrors refreshes mirrors from masters and
 	// activates every mirror whose value changed since the last unpin, and
@@ -118,42 +125,106 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 			requestLocalProxies(h, parent)
 		}
 		local := h.HP.Local
-		body := func(tid int, src graph.NodeID) {
-			srcParent := parent.Read(h.HP.GlobalID(src))
-			lo, hi := local.EdgeRange(src)
-			for e := lo; e < hi; e++ {
-				dst := local.Dst(e)
-				dstParent := parent.Read(h.HP.GlobalID(dst))
-				if srcParent > dstParent {
-					workDone.Reduce(true)
-					parent.Reduce(tid, srcParent, dstParent)
-				} else if fr != nil && dstParent > srcParent && !fr.IsActive(int(dst)) {
-					workDone.Reduce(true)
-					parent.Reduce(tid, dstParent, srcParent)
+		mode := runtime.ModeBSP
+		var drain runtime.DrainStats
+		if fr != nil {
+			mode = eng.roundMode(fr.Count())
+		}
+		if mode == runtime.ModeAsync {
+			h.TimeCompute(func() {
+				drain = ccHookDrain(h, eng, workDone, fr)
+			})
+		} else {
+			body := func(tid int, src graph.NodeID) {
+				srcParent := parent.Read(h.HP.GlobalID(src))
+				lo, hi := local.EdgeRange(src)
+				for e := lo; e < hi; e++ {
+					dst := local.Dst(e)
+					dstParent := parent.Read(h.HP.GlobalID(dst))
+					if srcParent > dstParent {
+						workDone.Reduce(true)
+						parent.Reduce(tid, srcParent, dstParent)
+					} else if fr != nil && dstParent > srcParent && !fr.IsActive(int(dst)) {
+						workDone.Reduce(true)
+						parent.Reduce(tid, dstParent, srcParent)
+					}
 				}
 			}
+			h.TimeCompute(func() {
+				if fr != nil {
+					h.ParForActive(fr, body)
+				} else {
+					h.ParForNodes(body)
+				}
+			})
 		}
-		h.TimeCompute(func() {
-			if fr != nil {
-				h.ParForActive(fr, body)
-			} else {
-				h.ParForNodes(body)
-			}
-		})
 		parent.ReduceSync()
 		parent.BroadcastSync()
 		active := h.HP.NumLocal()
 		if fr != nil {
 			active = fr.Count()
+			eng.observe(mode, active, fr.Size(), drain)
 			fr.Advance()
 		}
-		rl.record(active, true)
+		rl.record(active, true, mode)
 		if !parent.IsUpdated() || rounds >= cfg.maxRounds() {
 			break
 		}
 	}
 	parent.UnpinMirrors()
 	return rounds
+}
+
+// ccHookDrain is ccHook's compute phase as an asynchronous drain: reads
+// and reduces go through the CAS handle (local targets apply in place;
+// remote ones still buffer for the next reduce-sync), and a target whose
+// parent changed is activated for the next round — the in-place apply
+// means the next round reads it without waiting for a reduce/broadcast
+// round-trip. Changed targets are deliberately NOT re-enqueued in-drain:
+// hook cascades lower labels one hop at a time, so running them to
+// quiescence before any shortcut phase degenerates to O(n^2) on deep
+// chains — exactly the workload where BSP's interleaved pointer jumping
+// stays O(n log n). The chain-collapsing win belongs to the shortcut
+// drain (ccChaseBody), which compresses with path halving.
+//
+// One deliberate difference from the BSP body: BSP skips the
+// reverse-direction hook when dst is itself active, because dst's own
+// visit covers that edge with the same round-start values. Mid-drain that
+// argument breaks — dst's body may have run before parent(src) dropped —
+// so the drain applies both directions unconditionally (idempotent min
+// applies; the redundancy is harmless).
+// Unmaterialized reads (ok=false) cannot occur here: mirrors are pinned
+// for the whole hook phase, and every edge endpoint is a local proxy.
+func ccHookDrain(h *runtime.Host, eng *engine, workDone *runtime.BoolReducer,
+	fr *runtime.Frontier) runtime.DrainStats {
+
+	local := h.HP.Local
+	ah := eng.ah
+	return h.AsyncDrain(fr, eng.ccAsyncOpts(), func(tid int, src graph.NodeID, _ *runtime.AsyncCtx) {
+		srcParent, ok := ah.Load(h.HP.GlobalID(src))
+		if !ok {
+			return
+		}
+		lo, hi := local.EdgeRange(src)
+		for e := lo; e < hi; e++ {
+			dst := local.Dst(e)
+			dstParent, ok := ah.Load(h.HP.GlobalID(dst))
+			if !ok {
+				continue
+			}
+			if srcParent > dstParent {
+				workDone.Reduce(true)
+				if l, applied, changed := ah.ReduceAsync(tid, srcParent, dstParent); applied && changed {
+					fr.Activate(int(l))
+				}
+			} else if dstParent > srcParent {
+				workDone.Reduce(true)
+				if l, applied, changed := ah.ReduceAsync(tid, dstParent, srcParent); applied && changed {
+					fr.Activate(int(l))
+				}
+			}
+		}
+	})
 }
 
 // ccShortcut applies pointer jumping until quiescence:
@@ -167,8 +238,15 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 // once a master points at a root its shortcut stays ineffective — roots
 // keep pointing at themselves within the phase — until its own parent
 // changes again, which re-activates it.
+// Under a non-BSP engine, an async round replaces the request/jump passes
+// with two drains around the same RequestSync: a chase drain that
+// collapses every locally-readable parent chain in place (requesting the
+// parents it cannot read), then a resolve drain over the requesters that
+// jumps through the fresh cache. One async round does the work of a whole
+// local chain of BSP rounds; cross-host chains still advance one request
+// round at a time, exactly like BSP.
 func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
-	fr *runtime.Frontier, acc *runtime.Bitset, rl *roundLogger) int {
+	fr *runtime.Frontier, acc *runtime.Bitset, rl *roundLogger, eng *engine) int {
 
 	if fr != nil {
 		// Reset discards stale activations (e.g. mirror bits from a prior
@@ -184,39 +262,57 @@ func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 		if cfg.requestActive() {
 			requestLocalProxies(h, parent)
 		}
-		// Request phase generated by the operator split: read parent(n),
-		// request parent(parent(n)).
-		reqBody := func(_ int, local graph.NodeID) {
-			p := parent.Read(h.HP.GlobalID(local))
-			parent.Request(p)
+		mode := runtime.ModeBSP
+		var drain runtime.DrainStats
+		if fr != nil {
+			mode = eng.roundMode(fr.Count())
 		}
-		h.TimeCompute(func() {
-			if fr != nil {
-				h.ParForActive(fr, reqBody)
-			} else {
-				h.ParForMasters(reqBody)
+		if mode == runtime.ModeAsync {
+			pend := eng.pendSet()
+			h.TimeCompute(func() {
+				drain = h.AsyncDrain(fr, eng.ccAsyncOpts(), ccChaseBody(h, eng, parent, fr, pend, true))
+			})
+			parent.RequestSync()
+			h.TimeCompute(func() {
+				resolved := h.AsyncDrainBits(pend, eng.ccAsyncOpts(), ccChaseBody(h, eng, parent, fr, pend, false))
+				drain.Accumulate(resolved)
+			})
+		} else {
+			// Request phase generated by the operator split: read parent(n),
+			// request parent(parent(n)).
+			reqBody := func(_ int, local graph.NodeID) {
+				p := parent.Read(h.HP.GlobalID(local))
+				parent.Request(p)
 			}
-		})
-		parent.RequestSync()
-		body := func(tid int, local graph.NodeID) {
-			gid := h.HP.GlobalID(local)
-			p := parent.Read(gid)
-			gp := parent.Read(p)
-			if p != gp {
-				parent.Reduce(tid, gid, gp)
+			h.TimeCompute(func() {
+				if fr != nil {
+					h.ParForActive(fr, reqBody)
+				} else {
+					h.ParForMasters(reqBody)
+				}
+			})
+			parent.RequestSync()
+			body := func(tid int, local graph.NodeID) {
+				gid := h.HP.GlobalID(local)
+				p := parent.Read(gid)
+				gp := parent.Read(p)
+				if p != gp {
+					parent.Reduce(tid, gid, gp)
+				}
 			}
+			h.TimeCompute(func() {
+				if fr != nil {
+					h.ParForActive(fr, body)
+				} else {
+					h.ParForMasters(body)
+				}
+			})
 		}
-		h.TimeCompute(func() {
-			if fr != nil {
-				h.ParForActive(fr, body)
-			} else {
-				h.ParForMasters(body)
-			}
-		})
 		parent.ReduceSync()
 		active := h.HP.NumMasters
 		if fr != nil {
 			active = fr.Count()
+			eng.observe(mode, active, fr.Size(), drain)
 			fr.Advance()
 			if acc != nil {
 				// Record this round's changed masters for the next hook
@@ -224,12 +320,90 @@ func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 				fr.OrCurrentInto(acc)
 			}
 		}
-		rl.record(active, false)
+		rl.record(active, false, mode)
 		if !parent.IsUpdated() || rounds >= cfg.maxRounds() {
 			break
 		}
 	}
 	return rounds
+}
+
+// ccChaseBody builds the shortcut drain body: chase n's parent chain,
+// CAS-lowering parent(n) as long as each grandparent is locally readable
+// (master, or this round's request cache). On an unreadable parent the
+// chase parks: the first drain requests it and records n in pend for the
+// post-RequestSync resolve drain; the resolve drain re-activates n for
+// the next BSP round instead (its parent moved past what was requested).
+// Any change re-activates n — the same changed-masters activation rule
+// the BSP path gets from applyToMaster, which keeps acc seeding and
+// round-narrowing behavior identical across modes.
+func ccChaseBody(h *runtime.Host, eng *engine, parent npm.Map[graph.NodeID],
+	fr *runtime.Frontier, pend *runtime.Bitset, requestMissing bool,
+) func(tid int, n graph.NodeID, cx *runtime.AsyncCtx) {
+
+	ah := eng.ah
+	return func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
+		gid := h.HP.GlobalID(n)
+		changed := false
+		// Walk gid's parent chain with path halving: the cursor visits
+		// v -> parent(parent(v)) -> ..., and every visited node is jumped
+		// past its parent to its grandparent (the classic union-find
+		// compression). Each walk halves the chain it traverses, so total
+		// chase work over a drain stays near-linear no matter which end of
+		// a deep chain drains first. Compressing only the chasing vertex —
+		// the naive loop — re-walks the same tail from every seed for
+		// O(n^2) total on a chain, the exact workload the async mode
+		// exists to win.
+		miss := func(x graph.NodeID) {
+			if requestMissing {
+				parent.Request(x)
+				pend.Set(int(n))
+			} else {
+				fr.Activate(int(n))
+			}
+		}
+		v := gid
+		var root graph.NodeID
+		haveRoot := false
+		for {
+			p, ok := ah.Load(v) // v=gid is our master, always readable; deeper nodes may not be
+			if !ok {
+				miss(v)
+				break
+			}
+			if p == v {
+				root, haveRoot = v, true
+				break
+			}
+			gp, ok := ah.Load(p)
+			if !ok {
+				miss(p)
+				break
+			}
+			if gp == p {
+				root, haveRoot = p, true // parent is a root; v already points at it
+				break
+			}
+			// Jump v past p. Local targets apply via CAS (activating the
+			// changed master, the BSP rule: a parent that moved re-examines
+			// next round); remote targets buffer for the next reduce-sync.
+			if lv, applied, ch := ah.ReduceAsync(tid, v, gp); applied && ch {
+				fr.Activate(int(lv))
+			}
+			v = gp
+		}
+		// The walk halves the chain but only moves gid one jump; finish by
+		// pulling gid all the way to the terminal root so one drain fully
+		// collapses the chase, like the BSP loop's repeated rounds would.
+		if haveRoot {
+			if _, _, ch := ah.ReduceAsync(tid, gid, root); ch {
+				changed = true
+			}
+		}
+		if changed {
+			fr.Activate(int(n))
+		}
+	}
 }
 
 // CCLP runs label-propagation connected components (SPMD): each round
@@ -247,6 +421,7 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	var stats CCStats
 	fr := cfg.newFrontier(h, comp)
 	rl := cfg.roundLogger(h, &stats.PerRound)
+	eng := cfg.newEngine(h, fr, comp)
 	comp.PinMirrors()
 	if fr != nil {
 		fr.ActivateAll()
@@ -259,31 +434,59 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 			requestLocalProxies(h, comp)
 		}
 		local := h.HP.Local
-		body := func(tid int, src graph.NodeID) {
-			label := comp.Read(h.HP.GlobalID(src))
-			lo, hi := local.EdgeRange(src)
-			for e := lo; e < hi; e++ {
-				dstGID := h.HP.GlobalID(local.Dst(e))
-				if label < comp.Read(dstGID) {
-					comp.Reduce(tid, dstGID, label)
+		mode := runtime.ModeBSP
+		var drain runtime.DrainStats
+		if fr != nil {
+			mode = eng.roundMode(fr.Count())
+		}
+		if mode == runtime.ModeAsync {
+			// Every push target is a local proxy (mirrors are pinned), so
+			// the whole label cascade applies in place: a drain runs each
+			// host's labels to their local fixpoint in one round.
+			ah := eng.ah
+			h.TimeCompute(func() {
+				drain = h.AsyncDrain(fr, eng.ccAsyncOpts(), func(tid int, src graph.NodeID, cx *runtime.AsyncCtx) {
+					label, ok := ah.Load(h.HP.GlobalID(src))
+					if !ok {
+						return
+					}
+					lo, hi := local.EdgeRange(src)
+					for e := lo; e < hi; e++ {
+						dstGID := h.HP.GlobalID(local.Dst(e))
+						if l, applied, changed := ah.ReduceAsync(tid, dstGID, label); applied && changed {
+							cx.Enqueue(l)
+						}
+					}
+				})
+			})
+		} else {
+			body := func(tid int, src graph.NodeID) {
+				label := comp.Read(h.HP.GlobalID(src))
+				lo, hi := local.EdgeRange(src)
+				for e := lo; e < hi; e++ {
+					dstGID := h.HP.GlobalID(local.Dst(e))
+					if label < comp.Read(dstGID) {
+						comp.Reduce(tid, dstGID, label)
+					}
 				}
 			}
+			h.TimeCompute(func() {
+				if fr != nil {
+					h.ParForActive(fr, body)
+				} else {
+					h.ParForNodes(body)
+				}
+			})
 		}
-		h.TimeCompute(func() {
-			if fr != nil {
-				h.ParForActive(fr, body)
-			} else {
-				h.ParForNodes(body)
-			}
-		})
 		comp.ReduceSync()
 		comp.BroadcastSync()
 		active := h.HP.NumLocal()
 		if fr != nil {
 			active = fr.Count()
+			eng.observe(mode, active, fr.Size(), drain)
 			fr.Advance()
 		}
-		rl.record(active, true)
+		rl.record(active, true, mode)
 		if !comp.IsUpdated() || stats.HookRounds >= cfg.maxRounds() {
 			break
 		}
@@ -307,6 +510,7 @@ func CCSCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	var stats CCStats
 	fr := cfg.newFrontier(h, comp)
 	rl := cfg.roundLogger(h, &stats.PerRound)
+	eng := cfg.newEngine(h, fr, comp)
 	for {
 		stats.OuterRounds++
 		var workDone runtime.BoolReducer
@@ -339,10 +543,10 @@ func CCSCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 		}
 		comp.UnpinMirrors()
 		stats.HookRounds++
-		rl.record(h.HP.NumLocal(), true)
+		rl.record(h.HP.NumLocal(), true, runtime.ModeBSP)
 
 		// Shortcut to collapse label chains.
-		stats.ShortcutRounds += ccShortcut(h, cfg, comp, fr, nil, rl)
+		stats.ShortcutRounds += ccShortcut(h, cfg, comp, fr, nil, rl, eng)
 
 		workDone.Sync(h.EP)
 		if !workDone.Read() || stats.OuterRounds >= cfg.maxRounds() {

@@ -88,10 +88,32 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 		fr.Advance()
 	}
 
+	// Async execution: the three per-round stages become priority drains
+	// (high-degree vertices first — they knock out the most neighbors).
+	// Only the knockout stage writes state concurrently with reads, so it
+	// and the decide stage go through the CAS handle; the accumulate stage
+	// only buffers minNbr reduces and merely gains the scheduler. The
+	// round structure and every collective stay exactly as in BSP, so the
+	// per-round decisions — and the final set — are bit-identical.
+	eng := cfg.newEngine(h, fr, state)
+	var misOpts runtime.AsyncOpts
+	if eng != nil {
+		avg := 1
+		if h.HP.NumLocal() > 0 {
+			avg = int(local.NumEdges()) / h.HP.NumLocal()
+		}
+		misOpts = runtime.AsyncOpts{Levels: 2, Priority: degreePriority(local, avg)}
+	}
+
 	var stats MISStats
 	var remaining runtime.CountReducer
 	for {
 		stats.Rounds++
+		mode := runtime.ModeBSP
+		var drain runtime.DrainStats
+		if fr != nil {
+			mode = eng.roundMode(fr.Count())
+		}
 
 		// Per-round map: minimum priority among each node's undecided
 		// neighbors, accumulated from every edge location.
@@ -118,7 +140,12 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			}
 		}
 		h.TimeCompute(func() {
-			if fr != nil {
+			if mode == runtime.ModeAsync {
+				d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
+					accBody(tid, n)
+				})
+				drain.Accumulate(d)
+			} else if fr != nil {
 				h.ParForActive(fr, accBody)
 			} else {
 				h.ParForNodes(accBody)
@@ -144,8 +171,26 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			}
 		}
 		h.TimeCompute(func() {
-			if fr != nil {
-				nm := h.HP.NumMasters
+			nm := h.HP.NumMasters
+			if mode == runtime.ModeAsync {
+				// Each master decides only itself, but neighboring masters
+				// decide concurrently in the same drain, so state moves
+				// through the CAS handle.
+				sh := eng.ah
+				d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
+					if int(n) >= nm {
+						return
+					}
+					gid := h.HP.GlobalID(n)
+					if st, ok := sh.Load(gid); !ok || st != misUndecided {
+						return
+					}
+					if prio.Read(gid) < minNbr.Read(gid) {
+						sh.ReduceAsync(tid, gid, misIn)
+					}
+				})
+				drain.Accumulate(d)
+			} else if fr != nil {
 				h.ParForActive(fr, func(tid int, n graph.NodeID) {
 					if int(n) < nm {
 						decBody(tid, n)
@@ -179,7 +224,29 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			}
 		}
 		h.TimeCompute(func() {
-			if fr != nil {
+			if mode == runtime.ModeAsync {
+				// Knockouts write neighbors' state while peers read it, so
+				// both sides go through the CAS handle. No re-enqueue:
+				// knocked-out vertices trigger no further knockouts.
+				sh := eng.ah
+				d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
+					gid := h.HP.GlobalID(n)
+					if st, ok := sh.Load(gid); !ok || st != misIn {
+						return
+					}
+					lo, hi := local.EdgeRange(n)
+					for e := lo; e < hi; e++ {
+						dgid := h.HP.GlobalID(local.Dst(e))
+						if dgid == gid {
+							continue
+						}
+						if st, ok := sh.Load(dgid); ok && st == misUndecided {
+							sh.ReduceAsync(tid, dgid, misOut)
+						}
+					}
+				})
+				drain.Accumulate(d)
+			} else if fr != nil {
 				h.ParForActive(fr, koBody)
 			} else {
 				h.ParForNodes(koBody)
@@ -187,6 +254,9 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 		})
 		state.ReduceSync()
 		state.BroadcastSync()
+		if fr != nil {
+			eng.observe(mode, fr.Count(), fr.Size(), drain)
+		}
 
 		if cfg.requestActive() {
 			requestLocalProxies(h, state)

@@ -1,0 +1,131 @@
+package algorithms
+
+import (
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+// Execution-mode equivalence: the asynchronous drain and the adaptive
+// policy engine are pure scheduling changes. CC converges to the min-label
+// fixpoint and MIS's per-round decisions depend only on values fixed at
+// round start, so every mode must converge to bit-identical final outputs
+// — across worker counts (the async scheduler's stealing and CAS paths are
+// timing-sensitive) and host counts (mirror CAS applies must surface at
+// reduce-sync exactly like buffered reduces).
+
+func modeGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		// chain maximizes pointer-jumping depth — the async win case.
+		"chain": gen.Chain(300, false, 3),
+		"rmat":  gen.RMAT(8, 6, false, 2),
+		"grid":  gen.Grid(12, 12, false, 7),
+	}
+}
+
+func runCCMode(t *testing.T, g *graph.Graph, hosts, threads int, mode Mode,
+	algo func(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats) []graph.NodeID {
+	t.Helper()
+	c, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: hosts, ThreadsPerHost: threads, Policy: partition.CVC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]graph.NodeID, g.NumNodes())
+	c.Run(func(h *runtime.Host) { algo(h, Config{Mode: mode}, out) })
+	return out
+}
+
+func TestCCModesConvergeIdentically(t *testing.T) {
+	for gname, g := range modeGraphs() {
+		want := graph.ReferenceComponents(g)
+		for aname, algo := range ccAlgos() {
+			for _, hosts := range []int{1, 2, 4, 8} {
+				for _, threads := range []int{1, 3} {
+					ref := runCCMode(t, g, hosts, threads, ExecBSP, algo)
+					for _, mode := range []Mode{ExecAsync, ExecAdaptive} {
+						got := runCCMode(t, g, hosts, threads, mode, algo)
+						for i := range ref {
+							if got[i] != ref[i] {
+								t.Fatalf("%s/%s/%dh/%dt/%s: node %d labeled %d, BSP labeled %d",
+									gname, aname, hosts, threads, mode, i, got[i], ref[i])
+							}
+							if got[i] != want[i] {
+								t.Fatalf("%s/%s/%dh/%dt/%s: node %d labeled %d, reference %d",
+									gname, aname, hosts, threads, mode, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func runMISMode(t *testing.T, g *graph.Graph, hosts, threads int, mode Mode) []bool {
+	t.Helper()
+	c, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: hosts, ThreadsPerHost: threads, Policy: partition.CVC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]bool, g.NumNodes())
+	c.Run(func(h *runtime.Host) { MIS(h, Config{Mode: mode}, out) })
+	return out
+}
+
+func TestMISModesConvergeIdentically(t *testing.T) {
+	for gname, g := range modeGraphs() {
+		for _, hosts := range []int{1, 2, 4, 8} {
+			for _, threads := range []int{1, 3} {
+				ref := runMISMode(t, g, hosts, threads, ExecBSP)
+				if !graph.IsValidMIS(g, ref) {
+					t.Fatalf("%s/%dh/%dt: BSP produced invalid MIS", gname, hosts, threads)
+				}
+				for _, mode := range []Mode{ExecAsync, ExecAdaptive} {
+					got := runMISMode(t, g, hosts, threads, mode)
+					for i := range ref {
+						if got[i] != ref[i] {
+							t.Fatalf("%s/%dh/%dt/%s: node %d membership %v, BSP %v",
+								gname, hosts, threads, mode, i, got[i], ref[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The adaptive engine must actually exercise the async path where it is
+// profitable: on a single host every target is local, so the first round
+// probes async, and a converging CC run should keep it on.
+func TestAdaptiveModeTraceUsesAsync(t *testing.T) {
+	g := gen.Chain(400, false, 5)
+	c, err := runtime.NewCluster(g, runtime.Config{NumHosts: 1, ThreadsPerHost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]graph.NodeID, g.NumNodes())
+	var rounds RoundStats
+	c.Run(func(h *runtime.Host) {
+		stats := CCSV(h, Config{Mode: ExecAdaptive, LogRounds: true}, out)
+		rounds = stats.PerRound
+	})
+	async := 0
+	for _, m := range rounds.Mode {
+		if m == "async" {
+			async++
+		}
+	}
+	if async == 0 {
+		t.Fatalf("adaptive single-host CC-SV never chose async; trace %v", rounds.Mode)
+	}
+}

@@ -121,7 +121,7 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 	for {
 		stats.Rounds++
 		// 1. Collapse parent chains so parents are component roots.
-		ccShortcut(h, cfg, parent, frP, nil, nil)
+		ccShortcut(h, cfg, parent, frP, nil, nil, nil)
 
 		// 2. Fresh candidate map, masters initialized to the identity.
 		cand := npm.New(npm.Options[MinEdge]{
@@ -248,7 +248,7 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 	}
 
 	// Final collapse so labels are roots, then collect.
-	ccShortcut(h, cfg, parent, frP, nil, nil)
+	ccShortcut(h, cfg, parent, frP, nil, nil, nil)
 	weight.Sync(h.EP)
 	edges.Sync(h.EP)
 	stats.TotalWeight = weight.Read()

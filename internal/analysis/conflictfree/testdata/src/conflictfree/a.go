@@ -90,6 +90,51 @@ func reduceAndActivateLocked(s *store, l *lockedFrontier, u int, x float64) { //
 	l.activate(u)
 }
 
+// The async scheduler's hot paths are annotated in their home packages
+// (AsyncCtx.Enqueue, asyncSched.enqueue/stealAny) and proven there; a
+// drain body re-enqueuing through the real handle must stay provable
+// from the caller side too — the chain runs through the dedup bitset's
+// CAS loop and the Chase-Lev deque's atomics, all lock-free.
+//
+//kimbap:conflictfree
+func reduceAndReenqueue(s *store, cx *runtime.AsyncCtx, u int, x float64) {
+	s.vals[u] += x
+	cx.Enqueue(0)
+}
+
+// Deque Push/Pop/Steal are plain atomics; an annotated owner loop over
+// one is clean.
+//
+//kimbap:conflictfree
+func drainOwnDeque(s *store, d *par.Deque) {
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			return
+		}
+		s.vals[v]++
+	}
+}
+
+// A mutex-guarded enqueue wrapper breaks the guarantee — exactly the
+// design the CAS-based scheduler exists to avoid.
+type lockedQueue struct {
+	mu sync.Mutex
+	q  []int32
+}
+
+func (l *lockedQueue) push(v int32) {
+	l.mu.Lock()
+	l.q = append(l.q, v)
+	l.mu.Unlock()
+}
+
+//kimbap:conflictfree
+func reduceAndEnqueueLocked(s *store, l *lockedQueue, u int, x float64) { // want `reduceAndEnqueueLocked -> lockedQueue.push -> Mutex.Lock`
+	s.vals[u] += x
+	l.push(int32(u))
+}
+
 // Statement-level annotations: placed on a par dispatch, the annotation
 // asserts the worker closure is conflict-free (the counting-sort scatter
 // idiom — every write lands in a slot reserved by the worker's cursor).

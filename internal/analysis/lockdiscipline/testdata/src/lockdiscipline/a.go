@@ -148,6 +148,38 @@ func parForActiveWhileDeferLocked(sh *shard, h *runtime.Host, fr *runtime.Fronti
 	h.ParForActive(fr, func(tid int, node graph.NodeID) {}) // want `runtime.ParForActive call while holding sh.mu`
 }
 
+// The async drain entry points join every scheduler worker before
+// returning — a whole compute phase can run inside one call — so they
+// block exactly like the ParFor family.
+func asyncDrainWhileLocked(sh *shard, h *runtime.Host, fr *runtime.Frontier) {
+	sh.mu.Lock()
+	h.AsyncDrain(fr, runtime.AsyncOpts{}, func(tid int, node graph.NodeID, cx *runtime.AsyncCtx) {}) // want `runtime.AsyncDrain call while holding sh.mu`
+	sh.mu.Unlock()
+}
+
+func asyncDrainBitsWhileDeferLocked(sh *shard, h *runtime.Host, b *runtime.Bitset) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h.AsyncDrainBits(b, runtime.AsyncOpts{}, func(tid int, node graph.NodeID, cx *runtime.AsyncCtx) {}) // want `runtime.AsyncDrainBits call while holding sh.mu`
+}
+
+func asyncDrainAfterUnlock(sh *shard, h *runtime.Host, fr *runtime.Frontier, k, v int) {
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+	h.AsyncDrain(fr, runtime.AsyncOpts{}, func(tid int, node graph.NodeID, cx *runtime.AsyncCtx) {})
+}
+
+// In-drain re-enqueue is one dedup-bit set plus a deque push — lock-free
+// by construction (the conflictfree analyzer proves it), so bodies may
+// call it inside their own locked regions.
+func enqueueWhileLocked(sh *shard, cx *runtime.AsyncCtx, node graph.NodeID, k, v int) {
+	sh.mu.Lock()
+	sh.m[k] = v
+	cx.Enqueue(node)
+	sh.mu.Unlock()
+}
+
 // Frontier activation is one atomic fetch-or: it never blocks, so marking
 // a vertex active inside a locked region is fine.
 func activateWhileLocked(sh *shard, fr *runtime.Frontier, k, v int) {

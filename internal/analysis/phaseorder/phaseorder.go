@@ -6,9 +6,12 @@
 // not on the wire until FlushSends, so a Recv (or a function return)
 // with staged sends pending deadlocks or drops the tail of the round.
 // Finally, per-node Frontier.Activate is only meaningful from a
-// dispatched operator closure or from a decode path that owns the
-// frontier (a FrontierSink); activation from sequential driver code is
-// almost always a missed ParForActive.
+// dispatched operator closure — handed to a ParFor* dispatch or an
+// AsyncDrain/AsyncDrainBits entry point, or taking a *runtime.AsyncCtx
+// (only the drain scheduler constructs one, so such a body is dispatched
+// compute no matter how it reaches the drain) — or from a decode path
+// that owns the frontier (a FrontierSink); activation from sequential
+// driver code is almost always a missed ParForActive.
 //
 // The first two rules run as a forward may-dataflow over each function's
 // CFG. Closures handed to the runtime's Time* sections are inlined (they
@@ -311,6 +314,14 @@ func (c *checker) checkActivate(decl *ast.FuncDecl) {
 	if c.ownsFrontier(decl) {
 		return
 	}
+	// A function taking *runtime.AsyncCtx is an async operator body: only
+	// the drain scheduler constructs an AsyncCtx, so the whole body is
+	// dispatched compute even when it is built by a factory and returned
+	// rather than passed to AsyncDrain inline.
+	if obj, ok := c.info.Defs[decl.Name].(*types.Func); ok &&
+		hasAsyncCtxParam(obj.Type().(*types.Signature)) {
+		return
+	}
 	// Collect the closure literals that reach a dispatch primitive.
 	dispatched := map[*ast.FuncLit]bool{}
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
@@ -357,9 +368,18 @@ func (c *checker) checkActivate(decl *ast.FuncDecl) {
 			!strings.HasSuffix(fn.Pkg().Path(), "internal/runtime") {
 			return true
 		}
-		// Legitimate if any enclosing closure was handed to a dispatch.
+		// Legitimate if any enclosing closure was handed to a dispatch, or
+		// is an async operator body (takes *runtime.AsyncCtx — only the
+		// drain scheduler can invoke it, so it runs as dispatched compute
+		// no matter how it reaches the drain).
 		for _, lit := range lits {
-			if dispatched[lit] && lit.Body.Pos() <= call.Pos() && call.Pos() < lit.Body.End() {
+			if call.Pos() < lit.Body.Pos() || call.Pos() >= lit.Body.End() {
+				continue
+			}
+			if dispatched[lit] {
+				return true
+			}
+			if sig, ok := c.info.Types[lit].Type.(*types.Signature); ok && hasAsyncCtxParam(sig) {
 				return true
 			}
 		}
@@ -367,6 +387,28 @@ func (c *checker) checkActivate(decl *ast.FuncDecl) {
 			"Frontier.Activate outside an operator closure or frontier-owning decoder; per-node activation belongs in dispatched compute (use ActivateSet/ActivateAll for seeding)")
 		return true
 	})
+}
+
+// hasAsyncCtxParam reports whether sig takes a *runtime.AsyncCtx
+// parameter, marking it as an async drain operator body.
+func hasAsyncCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p, ok := params.At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := p.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "AsyncCtx" && obj.Pkg() != nil &&
+			strings.HasSuffix(obj.Pkg().Path(), "internal/runtime") {
+			return true
+		}
+	}
+	return false
 }
 
 // ownsFrontier reports whether decl is a method on a type that has a
@@ -391,7 +433,8 @@ func (c *checker) ownsFrontier(decl *ast.FuncDecl) bool {
 
 func isDispatchName(name string) bool {
 	switch name {
-	case "ParFor", "ParForNodes", "ParForMasters", "ParForActive":
+	case "ParFor", "ParForNodes", "ParForMasters", "ParForActive",
+		"AsyncDrain", "AsyncDrainBits":
 		return true
 	}
 	return false

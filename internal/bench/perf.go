@@ -49,6 +49,10 @@ type PerfRecord struct {
 	RoundActive      []int64 `json:"round_active,omitempty"`
 	RoundReduceBytes []int64 `json:"round_reduce_bytes,omitempty"`
 	RoundHook        []bool  `json:"round_hook,omitempty"`
+	// RoundMode is the execution mode per round: "bsp" or "async" when
+	// every host agreed, "mixed" when the adaptive controllers diverged
+	// (mode is a host-local decision; the collectives meet either way).
+	RoundMode []string `json:"round_mode,omitempty"`
 }
 
 // perfFile is the on-disk shape of BENCH_kimbap.json.
@@ -78,6 +82,17 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 		c.ccPerf("cc_sv_full", npm.Full, 8, false),
 		c.ccPerf("cc_sv_full_dense", npm.Full, 8, true),
 		c.ccPerf("cc_sv_full_sparse", npm.Full, 8, false),
+		// Execution-mode trio on the skewed-convergence workload (a long
+		// chain: maximal pointer-jumping depth, the async drain's best
+		// case) — the static BSP baseline, the static async drain, and the
+		// telemetry-driven adaptive controller, plus adaptive at 4 hosts
+		// where mirrors dilute the async win and the policy must hold back.
+		c.ccModePerf("cc_sv_bsp", 1, algorithms.ExecBSP),
+		c.ccModePerf("cc_sv_async", 1, algorithms.ExecAsync),
+		c.ccModePerf("cc_sv_adaptive", 1, algorithms.ExecAdaptive),
+		c.ccModePerf("cc_sv_adaptive", 4, algorithms.ExecAdaptive),
+		c.misPerf("mis_full", 1, algorithms.ExecBSP),
+		c.misPerf("mis_async", 1, algorithms.ExecAsync),
 	}
 	records = append(records, c.ingestPerf()...)
 
@@ -118,14 +133,18 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 	bt.Fprint(w)
 
 	rt := NewTable("Per-round activity (cluster-wide)",
-		"name", "hosts", "round", "kind", "active", "reduce bytes")
+		"name", "hosts", "round", "kind", "mode", "active", "reduce bytes")
 	for _, r := range records {
 		for i := range r.RoundActive {
 			kind := "shortcut"
 			if r.RoundHook[i] {
 				kind = "hook"
 			}
-			rt.Row(r.Name, r.Hosts, i, kind, r.RoundActive[i], r.RoundReduceBytes[i])
+			mode := "bsp"
+			if i < len(r.RoundMode) {
+				mode = r.RoundMode[i]
+			}
+			rt.Row(r.Name, r.Hosts, i, kind, mode, r.RoundActive[i], r.RoundReduceBytes[i])
 		}
 	}
 	rt.Fprint(w)
@@ -276,6 +295,28 @@ func (c Config) syncPerfWire(name string, variant npm.Variant, hosts int, pin bo
 // dense or frontier-driven, and records the per-round activity log.
 func (c Config) ccPerf(name string, variant npm.Variant, hosts int, dense bool) PerfRecord {
 	g, _ := c.perfGraph()
+	return c.ccPerfOn(name, g, variant, hosts, dense, algorithms.ExecBSP)
+}
+
+// chainGraph is the skewed-convergence workload for the execution-mode
+// records: a long path maximizes pointer-jumping depth, so BSP pays a
+// whole collective round per jump level while an asynchronous drain
+// collapses each host's local chains in one pass.
+func (c Config) chainGraph() *graph.Graph {
+	if c.Scale == Full {
+		return gen.Chain(1<<17, false, 3)
+	}
+	return gen.Chain(1<<13, false, 3)
+}
+
+// ccModePerf measures CC-SV on the chain workload under one execution mode.
+func (c Config) ccModePerf(name string, hosts int, mode algorithms.Mode) PerfRecord {
+	return c.ccPerfOn(name, c.chainGraph(), npm.Full, hosts, false, mode)
+}
+
+func (c Config) ccPerfOn(name string, g *graph.Graph, variant npm.Variant, hosts int,
+	dense bool, mode algorithms.Mode) PerfRecord {
+
 	rec := PerfRecord{Name: name, Hosts: hosts, Threads: c.Threads}
 	best := time.Duration(-1)
 	for rep := 0; rep < c.Reps; rep++ {
@@ -293,7 +334,7 @@ func (c Config) ccPerf(name string, variant npm.Variant, hosts int, dense bool) 
 		start := time.Now()
 		cluster.Run(func(h *runtime.Host) {
 			perHost[h.Rank] = algorithms.CCSV(h,
-				algorithms.Config{Variant: variant, Dense: dense, LogRounds: true}, out)
+				algorithms.Config{Variant: variant, Dense: dense, LogRounds: true, Mode: mode}, out)
 		})
 		wall := time.Since(start)
 		gort.ReadMemStats(&ms1)
@@ -310,23 +351,82 @@ func (c Config) ccPerf(name string, variant npm.Variant, hosts int, dense bool) 
 				make([]int64, len(tm)), tm, make([]int64, len(tb)), tb, 1)
 			rec.Conflicts = conflicts
 			rec.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
-			rec.RoundActive, rec.RoundReduceBytes, rec.RoundHook = sumRounds(perHost)
+			logs := make([]algorithms.RoundStats, hosts)
+			for i, st := range perHost {
+				logs[i] = st.PerRound
+			}
+			rec.RoundActive, rec.RoundReduceBytes, rec.RoundHook, rec.RoundMode = sumRounds(logs)
+		}
+	}
+	return rec
+}
+
+// misPerf measures one end-to-end MIS run under one execution mode (the
+// standard R-MAT input; MIS keeps no round log, so only the scalar
+// columns are filled).
+func (c Config) misPerf(name string, hosts int, mode algorithms.Mode) PerfRecord {
+	g, _ := c.perfGraph()
+	rec := PerfRecord{Name: name, Hosts: hosts, Threads: c.Threads}
+	best := time.Duration(-1)
+	for rep := 0; rep < c.Reps; rep++ {
+		cluster, err := runtime.NewCluster(g, runtime.Config{
+			NumHosts: hosts, ThreadsPerHost: c.Threads,
+		})
+		if err != nil {
+			panic(err)
+		}
+		out := make([]bool, g.NumNodes())
+		cw := npm.BeginConflictWindow()
+		var ms0, ms1 gort.MemStats
+		gort.ReadMemStats(&ms0)
+		start := time.Now()
+		cluster.Run(func(h *runtime.Host) {
+			algorithms.MIS(h, algorithms.Config{Mode: mode}, out)
+		})
+		wall := time.Since(start)
+		gort.ReadMemStats(&ms1)
+		msgs, bytes := cluster.CommStats()
+		tm, tb := cluster.CommStatsByTag()
+		conflicts := cw.End()
+		cluster.Close()
+		if best < 0 || wall < best {
+			best = wall
+			rec.WallNsPerOp = float64(wall.Nanoseconds())
+			rec.CommMessages = msgs
+			rec.CommBytes = bytes
+			rec.CommTagMessages, rec.CommTagBytes = tagBreakdown(
+				make([]int64, len(tm)), tm, make([]int64, len(tb)), tb, 1)
+			rec.Conflicts = conflicts
+			rec.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
 		}
 	}
 	return rec
 }
 
 // sumRounds folds the per-host round logs into cluster-wide totals.
-// Rounds are collective, so every host logs the same sequence length.
-func sumRounds(perHost []algorithms.CCStats) (active, bytes []int64, hook []bool) {
-	rounds := len(perHost[0].PerRound.Active)
+// Rounds are collective, so every host logs the same sequence length; the
+// execution mode is host-local, so a round reports "mixed" when adaptive
+// controllers diverged across hosts.
+func sumRounds(perHost []algorithms.RoundStats) (active, bytes []int64, hook []bool, mode []string) {
+	rounds := len(perHost[0].Active)
 	active = make([]int64, rounds)
 	bytes = make([]int64, rounds)
 	for _, st := range perHost {
 		for r := 0; r < rounds; r++ {
-			active[r] += st.PerRound.Active[r]
-			bytes[r] += st.PerRound.ReduceBytes[r]
+			active[r] += st.Active[r]
+			bytes[r] += st.ReduceBytes[r]
 		}
 	}
-	return active, bytes, perHost[0].PerRound.Hook
+	mode = make([]string, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		m := perHost[0].Mode[r]
+		for _, st := range perHost[1:] {
+			if st.Mode[r] != m {
+				m = "mixed"
+				break
+			}
+		}
+		mode = append(mode, m)
+	}
+	return active, bytes, perHost[0].Hook, mode
 }

@@ -73,6 +73,34 @@ func TestIngestBuildPartitionGate(t *testing.T) {
 	}
 }
 
+// TestAdaptiveModeGate holds the adaptive policy engine to at most 110% of
+// the best static execution mode on the single-host chain workload, all
+// three measured live in this process. The workload is the async drain's
+// best case (deep pointer-jumping), so static async beats static BSP by a
+// wide margin; the adaptive controller probes async on its first round
+// (every target is local at one host) and must essentially track it — the
+// 10% margin absorbs the probe round and scheduler noise, with Reps
+// best-of damping the rest.
+func TestAdaptiveModeGate(t *testing.T) {
+	cfg := Config{Scale: Full, Threads: 4, Reps: 3}
+	bsp := cfg.ccModePerf("cc_sv_bsp", 1, algorithms.ExecBSP).WallNsPerOp
+	async := cfg.ccModePerf("cc_sv_async", 1, algorithms.ExecAsync).WallNsPerOp
+	adaptive := cfg.ccModePerf("cc_sv_adaptive", 1, algorithms.ExecAdaptive).WallNsPerOp
+	if bsp == 0 || async == 0 {
+		t.Fatal("static mode measured zero wall time; gate workload is broken")
+	}
+	bestStatic := bsp
+	if async < bestStatic {
+		bestStatic = async
+	}
+	t.Logf("chain CC-SV 1h: bsp=%.2fms async=%.2fms adaptive=%.2fms",
+		bsp/1e6, async/1e6, adaptive/1e6)
+	if limit := bestStatic * 1.10; adaptive > limit {
+		t.Errorf("adaptive = %.2fms, above 110%% of best static %.2fms (limit %.2fms)",
+			adaptive/1e6, bestStatic/1e6, limit/1e6)
+	}
+}
+
 // TestFrontierReduceSyncBytesGate gates the frontier's wire win: at 8 hosts
 // a frontier-driven CC-SV run must move at most 60% of the dense run's
 // reduce-sync bytes. The graph needs enough hook rounds for the dense

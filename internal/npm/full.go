@@ -46,6 +46,16 @@ type fullMap[V comparable] struct {
 	pinned  bool
 	mirrors []V // indexed by (local - NumMasters) when pinned
 
+	// Async apply-path state (see async.go), allocated when an
+	// AsyncNodeHandle attaches. mirrorDirty marks pinned mirrors whose
+	// value a drain changed in place; ReduceSync flushes them to their
+	// owners as whole-value partials (sound only for idempotent ops,
+	// which the handle enforces). The counters are the policy engine's
+	// contention telemetry.
+	mirrorDirty *runtime.Bitset
+	casApplied  atomic.Int64
+	casRetries  atomic.Int64
+
 	reqBits   *runtime.Bitset // global IDs requested this round
 	cacheKeys []graph.NodeID  // sorted requested remote IDs
 	cacheVals []V
@@ -389,6 +399,21 @@ func (m *fullMap[V]) ReduceSync() {
 					counts[o][rt] = 0
 				}
 			}
+			// Async drains CAS pinned mirrors in place instead of
+			// buffering reduces; flush those values to their owners here,
+			// folded into this thread's combine output so they ride the
+			// normal cells path. Each dirty mirror belongs to exactly one
+			// thread's key range, so the pass stays conflict free.
+			if m.mirrorDirty != nil {
+				numGlobal := uint64(m.hp.NumGlobalNodes())
+				m.mirrorDirty.ForEachSet(func(slot int) {
+					k := m.hp.GlobalID(graph.NodeID(slot + m.hp.NumMasters))
+					if rangeBucket(k, uint64(threads), numGlobal) != t {
+						return
+					}
+					out.Reduce(k, m.mirrors[slot], m.op.Combine)
+				})
+			}
 			wireV2 := m.wire == comm.WireV2
 			destLo, destN, secBase := m.destLo, m.destN, m.secBase
 			out.ForEach(func(k graph.NodeID, v V) {
@@ -413,6 +438,9 @@ func (m *fullMap[V]) ReduceSync() {
 		})
 		for _, t := range m.tl {
 			t.Reset()
+		}
+		if m.mirrorDirty != nil {
+			m.mirrorDirty.Clear()
 		}
 
 		// Scatter: one message per host pair, with compute/comm overlap —

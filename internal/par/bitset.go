@@ -36,10 +36,44 @@ func (b *Bitset) tailMask() uint64 {
 }
 
 // Set atomically sets bit i and reports whether it was previously clear.
+//
+// Implemented as an explicit load/CAS loop rather than the value-returning
+// atomic Or: go1.24.0's amd64 lowering of the Or intrinsic can clobber the
+// register holding a live pointer in the inlined caller (the saved receiver
+// is overwritten by the CAS-loop scratch), which segfaulted the drain
+// scheduler's enqueue path. The CAS form compiles correctly and gets an
+// early exit for already-set bits for free.
 func (b *Bitset) Set(i int) bool {
+	w := &b.words[i/64]
 	mask := uint64(1) << (uint(i) % 64)
-	old := b.words[i/64].Or(mask)
-	return old&mask == 0
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Unset atomically clears bit i and reports whether it was previously set.
+// The set-returns-prior/unset-returns-prior pair lets concurrent workers
+// use a bitset as a claim table: whoever observes the transition owns the
+// item (the async scheduler's dedup and spill sets). Load/CAS loop for the
+// same reason as Set.
+func (b *Bitset) Unset(i int) bool {
+	w := &b.words[i/64]
+	mask := uint64(1) << (uint(i) % 64)
+	for {
+		old := w.Load()
+		if old&mask == 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old&^mask) {
+			return true
+		}
+	}
 }
 
 // Test reports whether bit i is set.

@@ -1,0 +1,149 @@
+package runtime
+
+// The adaptive policy engine: per round, each host chooses between the BSP
+// compute path and an asynchronous drain, and retunes the frontier's
+// dense/sparse representation threshold, from telemetry the runtime
+// already produces (active fraction, re-activation rate, CAS-retry
+// counts). Decisions are host-local and safe to diverge across hosts:
+// algorithms issue the same collective sequence per round in either mode,
+// so one host draining asynchronously while another runs BSP still meets
+// at the same reduce-sync.
+
+// ExecMode selects how one round's compute phase executes.
+type ExecMode uint8
+
+const (
+	// ModeBSP is the classic path: iterate the frontier, buffer reduces
+	// thread-locally, apply at the next reduce-sync.
+	ModeBSP ExecMode = iota
+	// ModeAsync drains the frontier with the priority scheduler: CAS
+	// in-place applies and immediate re-enqueue of activated vertices.
+	ModeAsync
+)
+
+func (m ExecMode) String() string {
+	if m == ModeAsync {
+		return "async"
+	}
+	return "bsp"
+}
+
+// RoundTelemetry is one completed round's signal, fed to Adaptive.Observe.
+type RoundTelemetry struct {
+	Active       int // frontier count entering the round
+	FrontierSize int // vertex-space size of the frontier
+	Mode         ExecMode
+	Drain        DrainStats // zero-valued when the round ran BSP
+	CASApplied   int64      // in-place applies during the round's drains
+	CASRetries   int64      // CAS retry loops (contention signal)
+}
+
+const (
+	// asyncScoreFloor is the score (local share + re-activation EMA) above
+	// which a round runs async: high local share means cascades stay on
+	// this host, high re-activation means cascades actually happen.
+	asyncScoreFloor = 0.75
+	// casRetryCeiling is the retries-per-apply EMA above which contention
+	// makes buffered BSP reduces cheaper than CAS loops.
+	casRetryCeiling = 0.5
+	// policyEMAWeight is the weight of the newest observation.
+	policyEMAWeight = 0.5
+	// divisorFlapThreshold doubles the dense divisor after this many
+	// net dense<->sparse representation flips.
+	divisorFlapThreshold = 3
+	maxDenseDivisor      = 64
+)
+
+// Adaptive is a per-host, per-phase policy controller. Create one at phase
+// start (NewAdaptive), ask NextMode before each round, and feed the
+// round's telemetry to Observe after it.
+type Adaptive struct {
+	h          *Host
+	localShare float64 // masters / local proxies: the fraction of targets CAS can reach
+	reactEMA   float64 // re-enqueues per seeded vertex, observed
+	retryEMA   float64 // CAS retries per apply, observed
+	observed   bool    // at least one async round measured
+	divisor    int     // current dense/sparse divisor this controller set
+	prevDense  bool
+	prevValid  bool
+	flips      int
+}
+
+// NewAdaptive creates a controller for one algorithm phase on h.
+func NewAdaptive(h *Host) *Adaptive {
+	nl := h.HP.NumLocal()
+	if nl < 1 {
+		nl = 1
+	}
+	div, _ := h.FrontierThresholds()
+	return &Adaptive{
+		h:          h,
+		localShare: float64(h.HP.NumMasters) / float64(nl),
+		divisor:    div,
+	}
+}
+
+// NextMode decides the coming round's execution mode given the frontier
+// count entering it.
+func (a *Adaptive) NextMode(active int) ExecMode {
+	if active == 0 {
+		return ModeBSP
+	}
+	if a.observed && a.retryEMA > casRetryCeiling {
+		return ModeBSP
+	}
+	if !a.observed {
+		// No async round measured yet: probe once when enough targets are
+		// local for cascades to plausibly pay off (always on one host).
+		if a.localShare >= 0.5 {
+			return ModeAsync
+		}
+		return ModeBSP
+	}
+	if a.localShare+a.reactEMA >= asyncScoreFloor {
+		return ModeAsync
+	}
+	return ModeBSP
+}
+
+// Observe feeds one completed round's telemetry: updates the mode-choice
+// EMAs and retunes the host's dense/sparse threshold when the
+// representation is flapping at the boundary.
+func (a *Adaptive) Observe(t RoundTelemetry) {
+	if t.Mode == ModeAsync && t.Drain.Seeded > 0 {
+		react := float64(t.Drain.Reenqueued) / float64(t.Drain.Seeded)
+		if react > 1 {
+			react = 1
+		}
+		a.reactEMA = a.reactEMA*(1-policyEMAWeight) + react*policyEMAWeight
+		if t.CASApplied > 0 {
+			retry := float64(t.CASRetries) / float64(t.CASApplied)
+			a.retryEMA = a.retryEMA*(1-policyEMAWeight) + retry*policyEMAWeight
+		}
+		a.observed = true
+	}
+	if t.FrontierSize > 0 && t.Active > 0 {
+		dense := t.Active*a.divisor >= t.FrontierSize
+		if a.prevValid {
+			if dense != a.prevDense {
+				a.flips++
+			} else if a.flips > 0 {
+				a.flips--
+			}
+		}
+		a.prevDense, a.prevValid = dense, true
+		if a.flips >= divisorFlapThreshold && a.divisor < maxDenseDivisor {
+			// A frontier hovering at the switch point pays compaction one
+			// round and scan the next; lowering the boundary (bigger
+			// divisor) parks it solidly in the dense regime.
+			a.divisor *= 2
+			a.h.SetFrontierThresholds(a.divisor, 0)
+			a.flips = 0
+			a.prevValid = false
+		}
+	}
+}
+
+// Divisor returns the dense/sparse divisor the controller currently has
+// in effect (telemetry/testing).
+func (a *Adaptive) Divisor() int { return a.divisor }

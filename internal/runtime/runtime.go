@@ -40,6 +40,16 @@ type Config struct {
 	// encoding; maps can override it per instance. The zero value
 	// (comm.WireAuto) means the npm package default (v2).
 	Wire comm.WireFormat
+	// FrontierDenseDivisor sets ParForActive's dense/sparse switch: the
+	// frontier iterates densely (parallel masked word scan) when
+	// |active| >= |V|/divisor, sparsely (compacted index list) below.
+	// Defaults to frontierDenseDivisor (16). The adaptive policy engine
+	// retunes it per host at runtime via SetFrontierThresholds.
+	FrontierDenseDivisor int
+	// FrontierSerialCutoff is the frontier size at or below which
+	// ParForActive runs inline on the calling goroutine instead of waking
+	// the worker pool. Defaults to frontierSerialCutoff (256).
+	FrontierSerialCutoff int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +61,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Policy == "" {
 		c.Policy = partition.OEC
+	}
+	if c.FrontierDenseDivisor == 0 {
+		c.FrontierDenseDivisor = frontierDenseDivisor
+	}
+	if c.FrontierSerialCutoff == 0 {
+		c.FrontierSerialCutoff = frontierSerialCutoff
 	}
 	return c
 }
@@ -76,6 +92,16 @@ type Host struct {
 
 	pool   *workerPool
 	mapSeq atomic.Int64
+
+	// Frontier representation thresholds (see Config); atomic because the
+	// adaptive policy rewrites them between rounds while telemetry readers
+	// may inspect them. Zero means "use the package default".
+	denseDivisor atomic.Int64
+	serialCutoff atomic.Int64
+	// async is the host's persistent drain scheduler, created on first
+	// AsyncDrain. Only the host's program goroutine starts drains, so no
+	// lock guards it.
+	async *asyncSched
 }
 
 // NextMapID returns this host's next property-map sequence number. SPMD
@@ -104,14 +130,16 @@ func NewCluster(g *graph.Graph, cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{Config: cfg, Part: part}
 	for i := 0; i < cfg.NumHosts; i++ {
-		c.hosts = append(c.hosts, &Host{
+		h := &Host{
 			Rank:    i,
 			HP:      part.Hosts[i],
 			EP:      eps[i],
 			Threads: cfg.ThreadsPerHost,
 			Wire:    cfg.Wire,
 			pool:    newWorkerPool(cfg.ThreadsPerHost),
-		})
+		}
+		h.SetFrontierThresholds(cfg.FrontierDenseDivisor, cfg.FrontierSerialCutoff)
+		c.hosts = append(c.hosts, h)
 	}
 	return c, nil
 }
@@ -277,12 +305,53 @@ func (h *Host) ParForMasters(fn func(tid int, node graph.NodeID)) {
 	h.ParFor(h.HP.NumMasters, func(tid, i int) { fn(tid, graph.NodeID(i)) })
 }
 
-// frontierDenseDivisor is the density threshold of ParForActive's
+// frontierDenseDivisor is the default density threshold of ParForActive's
 // Ligra-style representation switch: at |active| >= |V|/16 the frontier is
 // iterated as a parallel bitset scan (no compaction, word-level skips of
 // inactive runs); below it the set bits are compacted into an index list
 // so per-round work is O(|active|) plus one word scan.
 const frontierDenseDivisor = 16
+
+// frontierSerialCutoff is the default frontier size at or below which
+// ParForActive runs inline on the calling goroutine: waking the worker
+// pool costs more than visiting a few hundred vertices, and late rounds of
+// frontier-driven algorithms hit this every round.
+const frontierSerialCutoff = 256
+
+// SetFrontierThresholds overrides the host's frontier representation
+// thresholds (Config.FrontierDenseDivisor / FrontierSerialCutoff). Zero
+// leaves the corresponding threshold unchanged; negative restores the
+// package default. Safe to call between rounds; the adaptive policy engine
+// uses it to retune the dense/sparse switch from observed telemetry.
+func (h *Host) SetFrontierThresholds(denseDivisor, serialCutoff int) {
+	switch {
+	case denseDivisor > 0:
+		h.denseDivisor.Store(int64(denseDivisor))
+	case denseDivisor < 0:
+		h.denseDivisor.Store(frontierDenseDivisor)
+	}
+	switch {
+	case serialCutoff > 0:
+		h.serialCutoff.Store(int64(serialCutoff))
+	case serialCutoff < 0:
+		h.serialCutoff.Store(frontierSerialCutoff)
+	}
+}
+
+// FrontierThresholds returns the host's effective dense divisor and serial
+// cutoff (package defaults when never configured — hosts built as bare
+// literals in tests keep working).
+func (h *Host) FrontierThresholds() (denseDivisor, serialCutoff int) {
+	denseDivisor = int(h.denseDivisor.Load())
+	if denseDivisor == 0 {
+		denseDivisor = frontierDenseDivisor
+	}
+	serialCutoff = int(h.serialCutoff.Load())
+	if serialCutoff == 0 {
+		serialCutoff = frontierSerialCutoff
+	}
+	return denseDivisor, serialCutoff
+}
 
 // ParForActive runs fn over the vertices in f's current set, on the
 // host's worker pool. The iteration form switches on frontier density
@@ -297,14 +366,14 @@ func (h *Host) ParForActive(f *Frontier, fn func(tid int, node graph.NodeID)) {
 	if n == 0 {
 		return
 	}
-	// Small frontiers run inline on the calling goroutine: waking the
-	// worker pool costs more than visiting a few hundred vertices, and
-	// late rounds of frontier-driven algorithms hit this every round.
-	if n <= 256 {
+	divisor, cutoff := h.FrontierThresholds()
+	// Small frontiers run inline on the calling goroutine (see
+	// frontierSerialCutoff).
+	if n <= cutoff {
 		f.cur.ForEachSet(func(i int) { fn(0, graph.NodeID(i)) })
 		return
 	}
-	if n*frontierDenseDivisor >= f.Size() {
+	if n*divisor >= f.Size() {
 		cur := f.cur
 		h.ParFor(cur.Words(), func(tid, w int) {
 			word := cur.MaskedWord(w)
