@@ -1,21 +1,40 @@
 // Command graphgen generates the synthetic evaluation graphs (or custom
-// ones) and writes them as edge lists or in the compact binary format.
+// ones) and converts between the three on-disk formats.
 //
 //	graphgen -preset friendster -out friendster.kmb
 //	graphgen -type grid -rows 100 -cols 100 -weighted -out road.el -format text
-//	graphgen -type rmat -scale 16 -edgefactor 16 -out web.kmb
+//	graphgen -type rmat -scale 16 -edgefactor 16 -out web.kmb2 -format kmb2
+//	graphgen convert -in web.el -out web.kmb2
+//	graphgen convert -in web.kmb2 -out web.el -outformat text -workers 4
+//
+// convert streams by default: the input is read block by block (text
+// shards, KMB1 edge ranges, or KMB2 blocks) and never materialized as a
+// whole edge list. Converting to KMB2 is a single sequential scan;
+// converting to KMB1 or text runs the two-scan streaming CSR build.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"kimbap/internal/gen"
 	"kimbap/internal/graph"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		if err := runConvert(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen: convert:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runGenerate()
+}
+
+func runGenerate() {
 	var (
 		preset     = flag.String("preset", "", "paper preset: road-europe, friendster, clueweb12, wdc12")
 		typ        = flag.String("type", "", "custom generator: grid, rmat, er, chain, communities")
@@ -30,7 +49,7 @@ func main() {
 		weighted   = flag.Bool("weighted", true, "attach edge weights")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		out        = flag.String("out", "", "output path (stdout if empty)")
-		format     = flag.String("format", "binary", "output format: binary or text")
+		format     = flag.String("format", "binary", "output format: binary (kmb1), text, or kmb2")
 	)
 	flag.Parse()
 
@@ -55,6 +74,18 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generated: %s, diameter~%d\n", g.ComputeStats(), gen.ApproxDiameter(g))
 
+	if *format == "kmb2" {
+		// KMB2 writing patches the header in place, so it needs a real file.
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "graphgen: -format kmb2 requires -out")
+			os.Exit(2)
+		}
+		if err := graph.SaveKMB2(*out, g, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -75,4 +106,177 @@ func main() {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	var (
+		in         = fs.String("in", "", "input path (required)")
+		out        = fs.String("out", "", "output path (required)")
+		informat   = fs.String("informat", "auto", "input format: auto, text, kmb1, kmb2 (auto sniffs the magic)")
+		outformat  = fs.String("outformat", "", "output format: text, kmb1, kmb2 (default from -out extension)")
+		stream     = fs.Bool("stream", true, "stream block by block instead of materializing the edge list")
+		nodes      = fs.Int("nodes", 0, "node count for text inputs without a nodes directive")
+		workers    = fs.Int("workers", 0, "parallel workers for the streaming build (0 = all cores)")
+		blockEdges = fs.Int("block-edges", 0, "kmb2 output block capacity (0 = default)")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("need -in and -out")
+	}
+	inf := *informat
+	if inf == "auto" {
+		var err error
+		if inf, err = sniffFormat(*in); err != nil {
+			return err
+		}
+	}
+	outf := *outformat
+	if outf == "" {
+		outf = formatFromExt(*out)
+	}
+	if !*stream {
+		return convertInMemory(*in, *out, inf, outf, *nodes, *workers, *blockEdges)
+	}
+
+	src, closeSrc, err := openSource(*in, inf, *nodes)
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+
+	if outf == "kmb2" {
+		// Format conversion without a CSR build: one sequential scan,
+		// blocks repacked to the output capacity.
+		return copyToKMB2(src, *out, *blockEdges)
+	}
+	g, err := graph.NewStreamBuilder(src).SetWorkers(*workers).Build()
+	if err != nil {
+		return err
+	}
+	return writeGraph(*out, outf, g, *blockEdges)
+}
+
+// sniffFormat reads the 4-byte magic: KMB1, KMB2, or (anything else)
+// text.
+func sniffFormat(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var magic [4]byte
+	n, _ := f.Read(magic[:])
+	switch {
+	case n == 4 && string(magic[:]) == "KMB1":
+		return "kmb1", nil
+	case n == 4 && string(magic[:]) == "KMB2":
+		return "kmb2", nil
+	}
+	return "text", nil
+}
+
+func formatFromExt(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".kmb2"):
+		return "kmb2"
+	case strings.HasSuffix(path, ".kmb"), strings.HasSuffix(path, ".kmb1"):
+		return "kmb1"
+	}
+	return "text"
+}
+
+func openSource(path, format string, nodes int) (graph.BlockSource, func() error, error) {
+	switch format {
+	case "text":
+		s, err := graph.OpenTextConfig(path, graph.TextConfig{NumNodes: nodes})
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, s.Close, nil
+	case "kmb1":
+		s, err := graph.OpenKMB1(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, s.Close, nil
+	case "kmb2":
+		s, err := graph.OpenKMB2(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, s.Close, nil
+	}
+	return nil, nil, fmt.Errorf("unknown input format %q", format)
+}
+
+func copyToKMB2(src graph.BlockSource, out string, blockEdges int) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	kw, err := graph.NewKMB2Writer(f, src.NumNodes(), src.Weighted(), blockEdges)
+	if err != nil {
+		return err
+	}
+	blk := graph.GetBlock()
+	defer graph.PutBlock(blk)
+	for i := 0; i < src.NumBlocks(); i++ {
+		if err := src.ReadBlock(i, blk); err != nil {
+			return err
+		}
+		if err := kw.AppendBlock(blk); err != nil {
+			return err
+		}
+	}
+	if err := kw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func convertInMemory(in, out, inf, outf string, nodes, workers, blockEdges int) error {
+	var g *graph.Graph
+	var err error
+	switch inf {
+	case "text":
+		f, ferr := os.Open(in)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = graph.ReadEdgeList(f)
+		f.Close()
+	case "kmb1":
+		g, err = graph.LoadBinary(in)
+	case "kmb2":
+		g, err = graph.LoadKMB2(in, workers)
+	default:
+		return fmt.Errorf("unknown input format %q", inf)
+	}
+	if err != nil {
+		return err
+	}
+	_ = nodes // the in-memory text reader infers the node count itself
+	return writeGraph(out, outf, g, blockEdges)
+}
+
+func writeGraph(out, format string, g *graph.Graph, blockEdges int) error {
+	switch format {
+	case "kmb2":
+		return graph.SaveKMB2(out, g, blockEdges)
+	case "kmb1":
+		return graph.SaveBinary(out, g)
+	case "text":
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := graph.WriteEdgeList(f, g); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	return fmt.Errorf("unknown output format %q", format)
 }

@@ -1,0 +1,82 @@
+// Pool cases: the block-recycling half of the ownership contract
+// (DESIGN.md §13). A block handed to graph.PutBlock may be reissued to
+// another worker immediately; the deferred Put in a scan loop is the
+// sanctioned shape.
+package bufownership
+
+import "kimbap/internal/graph"
+
+type scanner struct {
+	spare *graph.EdgeBlock
+	srcs  []graph.NodeID
+}
+
+// writeAfterPut scribbles on a column after the block went back to the
+// pool — another worker may already be filling it.
+func writeAfterPut(blk *graph.EdgeBlock) {
+	graph.PutBlock(blk)
+	blk.Srcs[0] = 1 // want `write to blk\.Srcs\[0\] after blk was returned to the block pool`
+}
+
+// growAfterPut resizes a pooled column through append.
+func growAfterPut(blk *graph.EdgeBlock) []graph.NodeID {
+	graph.PutBlock(blk)
+	return append(blk.Srcs, 0) // want `append to blk\.Srcs after blk was returned to the block pool`
+}
+
+// swapColumnAfterPut replaces a column header on a block the pool owns.
+func swapColumnAfterPut(blk *graph.EdgeBlock, col []graph.NodeID) {
+	graph.PutBlock(blk)
+	blk.Dsts = col // want `write to blk\.Dsts after blk was returned to the block pool`
+}
+
+// retainAfterPut stashes the block for later: the pool may reissue it
+// while the stash still points at it.
+func (sc *scanner) retainAfterPut(blk *graph.EdgeBlock) {
+	graph.PutBlock(blk)
+	sc.spare = blk // want `pooled block blk is retained in sc\.spare`
+}
+
+// retainColumnAfterPut keeps a column slice, which the pool reissues with
+// the block.
+func (sc *scanner) retainColumnAfterPut(blk *graph.EdgeBlock) {
+	col := blk.Srcs
+	graph.PutBlock(blk)
+	sc.srcs = col // ok: the alias predates the Put and is not tracked (first-order analysis)
+}
+
+// aliasWriteAfterPut is tracked through the alias.
+func aliasWriteAfterPut(blk *graph.EdgeBlock) {
+	graph.PutBlock(blk)
+	p := blk
+	p.Srcs[0] = 1 // want `write to p\.Srcs\[0\] after p was returned to the block pool`
+}
+
+// deferredPutScan is the sanctioned streaming shape: the deferred Put
+// runs at function exit, after every use in the loop body.
+func deferredPutScan(src graph.BlockSource) error {
+	blk := graph.GetBlock()
+	defer graph.PutBlock(blk)
+	for i := 0; i < src.NumBlocks(); i++ {
+		if err := src.ReadBlock(i, blk); err != nil {
+			return err
+		}
+		blk.Srcs[0] = 0
+	}
+	return nil
+}
+
+// reissueEndsTracking: a fresh GetBlock is fresh ownership.
+func reissueEndsTracking(blk *graph.EdgeBlock) {
+	graph.PutBlock(blk)
+	blk = graph.GetBlock()
+	blk.Srcs = blk.Srcs[:0]
+}
+
+// useThenPut is the normal order: every touch precedes the Put.
+func useThenPut() {
+	blk := graph.GetBlock()
+	blk.Reset(4, false)
+	blk.Srcs[0] = 2
+	graph.PutBlock(blk)
+}

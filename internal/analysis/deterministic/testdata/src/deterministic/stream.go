@@ -1,0 +1,57 @@
+// Stream shapes: the §13 streaming-ingestion patterns the replay
+// contract must hold for. The sanctioned build assigns blocks to workers
+// by static ranges; the tempting alternatives — dynamic work queues, map
+// merges, wall-clock retry policies — all break run-to-run identity.
+package deterministic
+
+import (
+	"time"
+
+	"kimbap/internal/par"
+)
+
+// streamBuild mirrors the two-scan streaming CSR build: static block
+// ranges per worker, per-worker counters, closures scanned through the
+// par cut. Clean.
+//
+//kimbap:deterministic
+func streamBuild(blocks [][]int, cnt []int) {
+	par.Do(2, func(w int) {
+		for i := w; i < len(blocks); i += 2 {
+			for _, s := range blocks[i] {
+				cnt[s]++
+			}
+		}
+	})
+}
+
+// blockQueueDirty pulls block indices off a shared channel: arrival
+// order decides which worker scatters which block, so the insertion
+// order the counting sort depends on differs run to run.
+//
+//kimbap:deterministic
+func blockQueueDirty(q chan int, cnt []int) { // want `receives from a channel`
+	for range cnt {
+		i := <-q
+		cnt[i]++
+	}
+}
+
+// mergeByMapDirty accumulates per-block degree counts in a map and walks
+// it to build the offsets — the emitted order is randomized per run.
+//
+//kimbap:deterministic
+func mergeByMapDirty(perBlock map[int]int) []int { // want `ranges over a map`
+	var offsets []int
+	for b, n := range perBlock {
+		offsets = append(offsets, b+n)
+	}
+	return offsets
+}
+
+// retryByClockDirty sizes a read retry window off the wall clock.
+//
+//kimbap:deterministic
+func retryByClockDirty(deadline int64) bool { // want `calls time\.Now`
+	return time.Now().UnixNano() < deadline
+}

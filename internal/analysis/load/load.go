@@ -175,7 +175,14 @@ func (p *Program) loadDir(path, dir string) (*Package, error) {
 			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil,
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", path, err)
+		}
+		if !shouldBuild(name, src) {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), src,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("load: %s: %w", path, err)

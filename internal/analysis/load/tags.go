@@ -1,0 +1,113 @@
+package load
+
+import (
+	"bytes"
+	"go/build/constraint"
+	"runtime"
+	"strings"
+)
+
+// Build-constraint handling: the loader must skip files excluded on this
+// platform, or a build-tagged pair (graph's mmap_linux.go/mmap_other.go)
+// type-checks as a redeclaration. Two rules apply, matching cmd/go:
+// //go:build expressions in the file header, and implicit _GOOS/_GOARCH
+// filename suffixes. Only the tags kimbapvet can actually run under need
+// to evaluate: GOOS, GOARCH, unix, gc, and go1.N version gates (all
+// treated as satisfied — the module's go directive governs what compiles).
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+func matchTag(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixOS[runtime.GOOS]
+	case tag == "gc":
+		return true
+	case strings.HasPrefix(tag, "go1"):
+		return true
+	}
+	return false
+}
+
+// shouldBuild reports whether the file named name with contents src is
+// included in the package on this platform.
+func shouldBuild(name string, src []byte) bool {
+	if !matchFileName(name) {
+		return false
+	}
+	expr := buildExpr(src)
+	if expr == nil {
+		return true
+	}
+	return expr.Eval(matchTag)
+}
+
+// matchFileName applies cmd/go's implicit filename constraints:
+// name_GOOS.go, name_GOARCH.go, name_GOOS_GOARCH.go.
+func matchFileName(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	parts := strings.Split(name, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	prev := ""
+	if len(parts) >= 3 {
+		prev = parts[len(parts)-2]
+	}
+	switch {
+	case knownArch[last]:
+		if last != runtime.GOARCH {
+			return false
+		}
+		return prev == "" || !knownOS[prev] || prev == runtime.GOOS
+	case knownOS[last]:
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// buildExpr extracts the //go:build expression from the file header, or
+// nil if there is none (legacy // +build lines are ignored: the module
+// sets go >= 1.17, where //go:build is authoritative and gofmt keeps the
+// two in sync).
+func buildExpr(src []byte) constraint.Expr {
+	for _, line := range bytes.Split(src, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || bytes.HasPrefix(line, []byte("//")) {
+			if constraint.IsGoBuild(string(line)) {
+				expr, err := constraint.Parse(string(line))
+				if err != nil {
+					return nil
+				}
+				return expr
+			}
+			continue
+		}
+		// First non-blank, non-comment line ends the header. (A /* block
+		// comment also ends constraint scanning per spec; none of the
+		// module's headers use one before the package clause.)
+		break
+	}
+	return nil
+}

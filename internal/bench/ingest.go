@@ -61,6 +61,7 @@ func (c Config) timeOp(rec PerfRecord, setup func(), op func()) PerfRecord {
 			best = wall
 			rec.WallNsPerOp = float64(wall.Nanoseconds())
 			rec.AllocsPerOp = float64(ms1.Mallocs - ms0.Mallocs)
+			rec.PeakAllocBytes = int64(ms1.TotalAlloc - ms0.TotalAlloc)
 		}
 	}
 	return rec

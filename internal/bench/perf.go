@@ -34,6 +34,11 @@ type PerfRecord struct {
 	CommBytes    int64   `json:"comm_bytes"`    // per op, cluster-wide
 	Conflicts    int64   `json:"conflicts"`     // over the whole measured window
 	AllocsPerOp  float64 `json:"allocs_per_op"` // cluster-wide (process mallocs)
+	// PeakAllocBytes is the bytes allocated during the fastest measured
+	// window (TotalAlloc delta) — a cumulative upper bound on the op's
+	// peak heap growth, the column the streaming-ingestion records exist
+	// to shrink. Filled by the timeOp-measured ingestion records.
+	PeakAllocBytes int64 `json:"peak_alloc_bytes,omitempty"`
 	// Per-tag breakdown of the comm columns (same units), keyed by
 	// comm.Tag name. Tags with no traffic are omitted.
 	CommTagMessages map[string]int64 `json:"comm_tag_messages,omitempty"`
@@ -95,6 +100,7 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 		c.misPerf("mis_async", 1, algorithms.ExecAsync),
 	}
 	records = append(records, c.ingestPerf()...)
+	records = append(records, c.ingestIOPerf()...)
 
 	if jsonPath != "" {
 		prev := map[string]float64{}
@@ -112,14 +118,14 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 	}
 
 	t := NewTable(fmt.Sprintf("Perf trajectory (scale %s, %d threads/host)", c.Scale, c.Threads),
-		"name", "hosts", "ns/op", "msgs/op", "bytes/op", "conflicts", "allocs/op", "prev ns/op", "vs prev")
+		"name", "hosts", "ns/op", "msgs/op", "bytes/op", "conflicts", "allocs/op", "peak bytes", "prev ns/op", "vs prev")
 	for _, r := range records {
 		delta := ""
 		if r.PrevNsPerOp > 0 {
 			delta = fmt.Sprintf("%+.1f%%", 100*(r.WallNsPerOp-r.PrevNsPerOp)/r.PrevNsPerOp)
 		}
 		t.Row(r.Name, r.Hosts, r.WallNsPerOp, r.CommMessages, r.CommBytes,
-			r.Conflicts, r.AllocsPerOp, r.PrevNsPerOp, delta)
+			r.Conflicts, r.AllocsPerOp, r.PeakAllocBytes, r.PrevNsPerOp, delta)
 	}
 	t.Fprint(w)
 

@@ -145,6 +145,17 @@ func (b *Builder) countingSortBySrc(workers int, offsets []int64, validateDst bo
 			c[s]++
 		}
 	})
+	mergeCounts(workers, n, cnt, offsets)
+	return cnt
+}
+
+// mergeCounts stitches a per-worker count matrix into CSR offsets and
+// scatter cursors: column sums into offsets[1..n], a parallel prefix sum,
+// then conversion of each count cell into that worker's write cursor for
+// the node. Shared by the in-memory counting sort and the streaming
+// two-scan build — the cursor math is what makes both scatters
+// conflict-free and insertion-ordered.
+func mergeCounts(workers, n int, cnt, offsets []int64) {
 	par.Static(workers, n, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			var s int64
@@ -165,7 +176,24 @@ func (b *Builder) countingSortBySrc(workers int, offsets []int64, validateDst bo
 			}
 		}
 	})
-	return cnt
+}
+
+// sortAdjacency runs the per-node adjacency sort on a scattered CSR,
+// dynamically balanced: power-law hubs cost far more than the grain
+// average. The (dst, weight) order is total up to fully equal entries, so
+// the result is independent of scatter order — the root of the
+// bit-identity guarantee shared by Build, BuildSerial, and StreamBuilder.
+func sortAdjacency(g *Graph, workers int) {
+	par.Dynamic(workers, g.NumNodes(), 128, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			elo, ehi := g.offsets[v], g.offsets[v+1]
+			if g.weights != nil {
+				sortDstWeight(g.dsts[elo:ehi], g.weights[elo:ehi])
+			} else {
+				slices.Sort(g.dsts[elo:ehi])
+			}
+		}
+	})
 }
 
 // Build produces the CSR graph with a two-pass parallel counting sort. The
@@ -207,18 +235,7 @@ func (b *Builder) Build() *Graph {
 		}
 	})
 	putCounts(cnt)
-	// Per-node adjacency sort, dynamically balanced: power-law hubs cost
-	// far more than the grain average.
-	par.Dynamic(workers, n, 128, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			elo, ehi := g.offsets[v], g.offsets[v+1]
-			if g.weights != nil {
-				sortDstWeight(g.dsts[elo:ehi], g.weights[elo:ehi])
-			} else {
-				slices.Sort(g.dsts[elo:ehi])
-			}
-		}
-	})
+	sortAdjacency(g, workers)
 	return g
 }
 

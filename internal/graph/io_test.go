@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Unit coverage for the hardened decoders: ReadBinary validates header
+// counts against the input size before allocating, and ReadEdgeList
+// rejects endpoints outside a declared node count.
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, ec := range []edgeCase{{}, {weighted: true, dups: true, selfLoops: true}} {
+		b := NewBuilder(31)
+		fillBuilder(b, ec, 31, 200, 17)
+		want := b.Build()
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGraphsIdentical(t, want, got)
+		// Unsized reader: same bytes through the chunked-growth path.
+		got, err = ReadBinary(io.LimitReader(bytes.NewReader(buf.Bytes()), int64(buf.Len())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGraphsIdentical(t, want, got)
+	}
+}
+
+// TestReadBinaryRejectsLyingHeader pins the satellite fix: a tiny input
+// whose header claims a huge graph must fail the size check up front —
+// before the claimed counts drive any allocation.
+func TestReadBinaryRejectsLyingHeader(t *testing.T) {
+	hdr := make([]byte, kmb1HdrLen)
+	copy(hdr, binMagic[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], 1<<30)  // a billion nodes
+	binary.LittleEndian.PutUint64(hdr[12:20], 1<<40) // a trillion edges
+	data := append(hdr, 0, 0, 0, 0)
+
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "header claims") {
+		t.Fatalf("sized lying header: err = %v", err)
+	}
+	// Unsized path: no size to check against, but reading hits EOF after
+	// the real bytes; allocation tracked those bytes, not the claim.
+	if _, err := ReadBinary(io.LimitReader(bytes.NewReader(data), int64(len(data)))); err == nil {
+		t.Fatal("unsized lying header: expected read error")
+	}
+
+	// Implausible counts are rejected even without a sized reader.
+	binary.LittleEndian.PutUint64(hdr[4:12], 1<<40)
+	if _, err := ReadBinary(bytes.NewReader(hdr)); err == nil ||
+		!strings.Contains(err.Error(), "32-bit") {
+		t.Fatalf("oversized node count: err = %v", err)
+	}
+}
+
+func TestReadBinaryRejectsCorruptStructure(t *testing.T) {
+	b := NewBuilder(6)
+	fillBuilder(b, edgeCase{}, 6, 30, 23)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Break offsets monotonicity.
+	mut := bytes.Clone(good)
+	binary.LittleEndian.PutUint64(mut[kmb1HdrLen+8:], uint64(g.NumEdges()+1000))
+	if _, err := ReadBinary(bytes.NewReader(mut)); err == nil ||
+		!strings.Contains(err.Error(), "offsets") {
+		t.Fatalf("corrupt offsets: err = %v", err)
+	}
+
+	// Break a destination (dsts live after the offsets array).
+	mut = bytes.Clone(good)
+	dstsOff := kmb1HdrLen + (g.NumNodes()+1)*8
+	binary.LittleEndian.PutUint32(mut[dstsOff:], 999)
+	if _, err := ReadBinary(bytes.NewReader(mut)); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("corrupt dst: err = %v", err)
+	}
+
+	// Truncation.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Fatal("truncated input: expected error")
+	}
+}
+
+// TestReadEdgeListDeclaredRange pins the satellite fix: with a nodes
+// directive, out-of-range endpoints are an error instead of silently
+// growing the graph.
+func TestReadEdgeListDeclaredRange(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("nodes 3\n0 1\n2 5\n")); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("dst beyond declared: err = %v", err)
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 1\n7 2\nnodes 3\n")); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("late directive: err = %v", err)
+	}
+	g, err := ReadEdgeList(strings.NewReader("nodes 3\n0 1\n2 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("in-range graph = %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// Without a directive the node count is still inferred from max ID.
+	g, err = ReadEdgeList(strings.NewReader("0 1\n7 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 8 {
+		t.Fatalf("inferred nodes = %d, want 8", g.NumNodes())
+	}
+	if _, err := ReadEdgeList(strings.NewReader("nodes -3\n")); err == nil ||
+		!strings.Contains(err.Error(), "bad nodes directive") {
+		t.Fatalf("negative directive: err = %v", err)
+	}
+}

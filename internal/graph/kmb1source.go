@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// KMB1Source streams a KMB1 CSR file (the WriteBinary format) as a
+// BlockSource. The header and offsets array are loaded eagerly — O(n),
+// already part of the CSR footprint — while the destination and weight
+// columns stay on disk and are decoded block by block, with source IDs
+// derived by walking the offsets. Like the other sources it mmaps when
+// possible and falls back to buffered ReadAt.
+//
+// KMB1 has no per-block checksums or headers (that is what KMB2 adds);
+// the file is validated up front by exact size against the header counts
+// and by offsets monotonicity, the same checks ReadBinary performs.
+type KMB1Source struct {
+	f          *os.File
+	mm         *mmapHandle
+	size       int64
+	numNodes   int
+	numEdges   int64
+	weighted   bool
+	offsets    []int64
+	blockEdges int
+	dstsOff    int64 // file offset of the destination column
+	weightsOff int64 // file offset of the weight column (weighted only)
+}
+
+// KMB1Config tunes OpenKMB1Config. The zero value means default block
+// size with mmap when available.
+type KMB1Config struct {
+	// BlockEdges is the number of edges per streamed block; <= 0 means
+	// DefaultBlockEdges.
+	BlockEdges int
+	// NoMmap forces the buffered ReadAt path, for the identity tests.
+	NoMmap bool
+}
+
+// OpenKMB1 opens a KMB1 file for streaming with default config.
+func OpenKMB1(path string) (*KMB1Source, error) {
+	return OpenKMB1Config(path, KMB1Config{})
+}
+
+// OpenKMB1Config opens a KMB1 file for streaming: header and offsets are
+// read and validated, edge columns stay on disk.
+func OpenKMB1Config(path string, cfg KMB1Config) (*KMB1Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newKMB1Source(f, cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func newKMB1Source(f *os.File, cfg KMB1Config) (*KMB1Source, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	s := &KMB1Source{f: f, size: st.Size(), blockEdges: cfg.BlockEdges}
+	if s.blockEdges <= 0 {
+		s.blockEdges = DefaultBlockEdges
+	}
+	var hdr [kmb1HdrLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("graph: kmb1 header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", hdr[0:4])
+	}
+	rawNodes := binary.LittleEndian.Uint64(hdr[4:12])
+	rawEdges := binary.LittleEndian.Uint64(hdr[12:20])
+	wflag := hdr[20]
+	if wflag > 1 {
+		return nil, fmt.Errorf("graph: bad weighted flag %d", wflag)
+	}
+	if rawNodes > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: node count %d exceeds 32-bit IDs", rawNodes)
+	}
+	if rawEdges > math.MaxInt64/16 {
+		return nil, fmt.Errorf("graph: implausible edge count %d", rawEdges)
+	}
+	nodes, edges := int64(rawNodes), int64(rawEdges)
+	s.numNodes, s.numEdges, s.weighted = int(nodes), edges, wflag == 1
+	s.dstsOff = int64(kmb1HdrLen) + (nodes+1)*8
+	s.weightsOff = s.dstsOff + edges*4
+	want := s.weightsOff
+	if s.weighted {
+		want += edges * 8
+	}
+	if s.size != want {
+		return nil, fmt.Errorf("graph: kmb1 header claims %d bytes, file has %d", want, s.size)
+	}
+	if !cfg.NoMmap {
+		if mm, err := mmapFile(f, s.size); err == nil {
+			s.mm = mm
+		}
+	}
+	// Load and validate the offsets array (kept resident for src derivation).
+	s.offsets = make([]int64, nodes+1)
+	if s.mm != nil {
+		decodeInt64s(s.offsets, s.mm.data[kmb1HdrLen:s.dstsOff])
+	} else {
+		raw := make([]byte, (nodes+1)*8)
+		if _, err := f.ReadAt(raw, kmb1HdrLen); err != nil {
+			return nil, fmt.Errorf("graph: kmb1 offsets: %w", err)
+		}
+		decodeInt64s(s.offsets, raw)
+	}
+	if s.offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: corrupt offsets: first=%d want 0", s.offsets[0])
+	}
+	for i := 1; i < len(s.offsets); i++ {
+		if s.offsets[i] < s.offsets[i-1] {
+			return nil, fmt.Errorf("graph: corrupt offsets: offsets[%d]=%d < offsets[%d]=%d",
+				i, s.offsets[i], i-1, s.offsets[i-1])
+		}
+	}
+	if s.offsets[nodes] != edges {
+		return nil, fmt.Errorf("graph: corrupt offsets: last=%d want %d", s.offsets[nodes], edges)
+	}
+	return s, nil
+}
+
+// Close releases the mapping and file handle.
+func (s *KMB1Source) Close() error {
+	if s.mm != nil {
+		s.mm.close()
+		s.mm = nil
+	}
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Mapped reports whether the source reads through an mmap.
+func (s *KMB1Source) Mapped() bool { return s.mm != nil }
+
+// NumNodes implements BlockSource.
+func (s *KMB1Source) NumNodes() int { return s.numNodes }
+
+// NumEdges returns the edge count from the header.
+func (s *KMB1Source) NumEdges() int64 { return s.numEdges }
+
+// Weighted implements BlockSource.
+func (s *KMB1Source) Weighted() bool { return s.weighted }
+
+// NumBlocks implements BlockSource.
+func (s *KMB1Source) NumBlocks() int {
+	return int((s.numEdges + int64(s.blockEdges) - 1) / int64(s.blockEdges))
+}
+
+// ReadBlock implements BlockSource: edges [i*blockEdges, …) with sources
+// derived from the resident offsets. Safe for concurrent calls on
+// distinct indices.
+func (s *KMB1Source) ReadBlock(i int, blk *EdgeBlock) error {
+	lo := int64(i) * int64(s.blockEdges)
+	hi := min(lo+int64(s.blockEdges), s.numEdges)
+	count := int(hi - lo)
+	blk.Reset(count, s.weighted)
+
+	if s.mm != nil {
+		decodeNodeIDs(blk.Dsts, s.mm.data[s.dstsOff+lo*4:s.dstsOff+hi*4])
+		if s.weighted {
+			decodeFloat64s(blk.Weights, s.mm.data[s.weightsOff+lo*8:s.weightsOff+hi*8])
+		}
+	} else {
+		raw := blk.RawBuf(count * 4)
+		if _, err := s.f.ReadAt(raw, s.dstsOff+lo*4); err != nil {
+			return fmt.Errorf("graph: kmb1 dsts: %w", err)
+		}
+		decodeNodeIDs(blk.Dsts, raw)
+		if s.weighted {
+			raw = blk.RawBuf(count * 8)
+			if _, err := s.f.ReadAt(raw, s.weightsOff+lo*8); err != nil {
+				return fmt.Errorf("graph: kmb1 weights: %w", err)
+			}
+			decodeFloat64s(blk.Weights, raw)
+		}
+	}
+
+	// Derive sources: node v owns edge indices [offsets[v], offsets[v+1]).
+	v := sort.Search(s.numNodes, func(v int) bool { return s.offsets[v+1] > lo })
+	for k := 0; k < count; k++ {
+		e := lo + int64(k)
+		for v < s.numNodes && s.offsets[v+1] <= e {
+			v++
+		}
+		if v >= s.numNodes {
+			return io.ErrUnexpectedEOF
+		}
+		blk.Srcs[k] = NodeID(v)
+	}
+	return nil
+}

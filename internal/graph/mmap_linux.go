@@ -1,0 +1,36 @@
+//go:build linux
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapHandle is a read-only mapping of a whole file. On Linux the
+// streaming sources decode blocks straight out of the mapping — the page
+// cache is the only copy of cold file bytes, and re-scans of a warm file
+// do no read syscalls at all.
+type mmapHandle struct {
+	data []byte
+}
+
+// mmapFile maps size bytes of f read-only. Callers fall back to ReadAt
+// on any error (exotic filesystems, size 0, address-space pressure).
+func mmapFile(f *os.File, size int64) (*mmapHandle, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapHandle{data: data}, nil
+}
+
+func (h *mmapHandle) close() {
+	if h.data != nil {
+		_ = syscall.Munmap(h.data)
+		h.data = nil
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapHandle is unavailable off Linux; sources take the buffered ReadAt
+// path, which is bit-identical (the equivalence tests run on both).
+type mmapHandle struct {
+	data []byte
+}
+
+var errNoMmap = errors.New("graph: mmap unavailable on this platform")
+
+func mmapFile(*os.File, int64) (*mmapHandle, error) {
+	return nil, errNoMmap
+}
+
+func (h *mmapHandle) close() {}

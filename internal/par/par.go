@@ -150,6 +150,27 @@ func Do(workers int, fn func(w int)) {
 	p.run(workers, fn)
 }
 
+// DoErr invokes fn(w) for every w in [0, workers) and returns the first
+// error in worker order — not arrival order — so a multi-worker failure
+// reports deterministically. The streaming ingestion scans use it: file
+// reads fail with errors, not panics, and every worker still runs to
+// completion (a short-circuit would leave peers reading a file the caller
+// is about to close).
+func DoErr(workers int, fn func(w int) error) error {
+	workers = Resolve(workers)
+	if workers == 1 {
+		return fn(0)
+	}
+	errs := make([]error, workers)
+	Do(workers, func(w int) { errs[w] = fn(w) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Range returns worker w's half-open slice [lo, hi) of a static balanced
 // split of [0, n) into `workers` contiguous ranges. Ranges depend only on
 // (w, workers, n), never on scheduling — the basis of every deterministic
