@@ -6,14 +6,21 @@
 //	graphgen -type rmat -scale 16 -edgefactor 16 -out web.kmb2 -format kmb2
 //	graphgen convert -in web.el -out web.kmb2
 //	graphgen convert -in web.kmb2 -out web.el -outformat text -workers 4
+//	graphgen convert -in web.el -out web.kmb2 -reorder degree
+//	graphgen reorder -in web.kmb2 -out web-deg.kmb2 -policy blocked-degree -blocks 8
 //
 // convert streams by default: the input is read block by block (text
 // shards, KMB1 edge ranges, or KMB2 blocks) and never materialized as a
 // whole edge list. Converting to KMB2 is a single sequential scan;
 // converting to KMB1 or text runs the two-scan streaming CSR build.
+// With -reorder (or the reorder subcommand) the output graph is permuted
+// by a locality policy — degree or blocked-degree (DESIGN.md §14) — via
+// the fused streaming reorder stage; -perm optionally records the
+// original→current ID mapping.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +38,32 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "reorder" {
+		if err := runReorder(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen: reorder:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	runGenerate()
+}
+
+// reorderPolicyHelp lists the valid -reorder/-policy values for -help.
+func reorderPolicyHelp() string {
+	return fmt.Sprintf("none, %s, %s", graph.ReorderDegree, graph.ReorderBlockedDegree)
+}
+
+// checkReorderPolicy validates a policy flag value, exiting 2 (usage
+// error, like flag.ExitOnError) on an unknown policy.
+func checkReorderPolicy(pol string) graph.ReorderPolicy {
+	switch p := graph.ReorderPolicy(pol); p {
+	case graph.ReorderNone, "", graph.ReorderDegree, graph.ReorderBlockedDegree:
+		return p
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: unknown reorder policy %q (valid: %s)\n",
+		pol, reorderPolicyHelp())
+	os.Exit(2)
+	return ""
 }
 
 func runGenerate() {
@@ -119,11 +151,14 @@ func runConvert(args []string) error {
 		nodes      = fs.Int("nodes", 0, "node count for text inputs without a nodes directive")
 		workers    = fs.Int("workers", 0, "parallel workers for the streaming build (0 = all cores)")
 		blockEdges = fs.Int("block-edges", 0, "kmb2 output block capacity (0 = default)")
+		reorder    = fs.String("reorder", "none", "vertex reorder policy: "+reorderPolicyHelp())
+		blocks     = fs.Int("blocks", 1, "block count for -reorder blocked-degree (usually the host count)")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("need -in and -out")
 	}
+	pol := checkReorderPolicy(*reorder)
 	inf := *informat
 	if inf == "auto" {
 		var err error
@@ -136,7 +171,7 @@ func runConvert(args []string) error {
 		outf = formatFromExt(*out)
 	}
 	if !*stream {
-		return convertInMemory(*in, *out, inf, outf, *nodes, *workers, *blockEdges)
+		return convertInMemory(*in, *out, inf, outf, *nodes, *workers, *blockEdges, pol, *blocks)
 	}
 
 	src, closeSrc, err := openSource(*in, inf, *nodes)
@@ -145,16 +180,84 @@ func runConvert(args []string) error {
 	}
 	defer closeSrc()
 
-	if outf == "kmb2" {
+	if outf == "kmb2" && (pol == "" || pol == graph.ReorderNone) {
 		// Format conversion without a CSR build: one sequential scan,
-		// blocks repacked to the output capacity.
+		// blocks repacked to the output capacity. Reordering permutes the
+		// edges, so it always takes the build path below.
 		return copyToKMB2(src, *out, *blockEdges)
 	}
-	g, err := graph.NewStreamBuilder(src).SetWorkers(*workers).Build()
+	g, _, err := graph.NewStreamBuilder(src).SetWorkers(*workers).BuildReordered(pol, *blocks)
 	if err != nil {
 		return err
 	}
 	return writeGraph(*out, outf, g, *blockEdges)
+}
+
+// runReorder rewrites a graph file under a reorder policy: a streaming
+// CSR build with the fused reorder stage, then the output writer. The
+// permutation can be saved alongside the graph with -perm (one
+// "orig current" pair per line).
+func runReorder(args []string) error {
+	fs := flag.NewFlagSet("reorder", flag.ExitOnError)
+	var (
+		in        = fs.String("in", "", "input path (required)")
+		out       = fs.String("out", "", "output path (required)")
+		informat  = fs.String("informat", "auto", "input format: auto, text, kmb1, kmb2 (auto sniffs the magic)")
+		outformat = fs.String("outformat", "", "output format: text, kmb1, kmb2 (default from -out extension)")
+		policy    = fs.String("policy", string(graph.ReorderDegree), "reorder policy: "+reorderPolicyHelp())
+		blocks    = fs.Int("blocks", 1, "block count for blocked-degree (usually the host count)")
+		nodes     = fs.Int("nodes", 0, "node count for text inputs without a nodes directive")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+		permOut   = fs.String("perm", "", "also write the original->current permutation to this path")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("need -in and -out")
+	}
+	pol := checkReorderPolicy(*policy)
+	inf := *informat
+	if inf == "auto" {
+		var err error
+		if inf, err = sniffFormat(*in); err != nil {
+			return err
+		}
+	}
+	outf := *outformat
+	if outf == "" {
+		outf = formatFromExt(*out)
+	}
+	src, closeSrc, err := openSource(*in, inf, *nodes)
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+	g, ro, err := graph.NewStreamBuilder(src).SetWorkers(*workers).BuildReordered(pol, *blocks)
+	if err != nil {
+		return err
+	}
+	if err := writeGraph(*out, outf, g, 0); err != nil {
+		return err
+	}
+	if *permOut != "" {
+		f, err := os.Create(*permOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		for orig := 0; orig < g.NumNodes(); orig++ {
+			cur := orig
+			if ro != nil {
+				cur = int(ro.Perm[orig])
+			}
+			fmt.Fprintf(w, "%d %d\n", orig, cur)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // sniffFormat reads the 4-byte magic: KMB1, KMB2, or (anything else)
@@ -236,7 +339,8 @@ func copyToKMB2(src graph.BlockSource, out string, blockEdges int) error {
 	return f.Close()
 }
 
-func convertInMemory(in, out, inf, outf string, nodes, workers, blockEdges int) error {
+func convertInMemory(in, out, inf, outf string, nodes, workers, blockEdges int,
+	pol graph.ReorderPolicy, blocks int) error {
 	var g *graph.Graph
 	var err error
 	switch inf {
@@ -258,6 +362,9 @@ func convertInMemory(in, out, inf, outf string, nodes, workers, blockEdges int) 
 		return err
 	}
 	_ = nodes // the in-memory text reader infers the node count itself
+	if g, _, err = graph.Reorder(g, graph.ReorderOptions{Policy: pol, Blocks: blocks, Workers: workers}); err != nil {
+		return err
+	}
 	return writeGraph(out, outf, g, blockEdges)
 }
 

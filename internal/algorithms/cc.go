@@ -141,12 +141,15 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 				for e := lo; e < hi; e++ {
 					dst := local.Dst(e)
 					dstParent := parent.Read(h.HP.GlobalID(dst))
+					// Parent values are original IDs; the reduce target is
+					// the parent *node*, so translate to its current ID
+					// before addressing it (identity without reordering).
 					if srcParent > dstParent {
 						workDone.Reduce(true)
-						parent.Reduce(tid, srcParent, dstParent)
+						parent.Reduce(tid, h.HP.CurrentID(srcParent), dstParent)
 					} else if fr != nil && dstParent > srcParent && !fr.IsActive(int(dst)) {
 						workDone.Reduce(true)
-						parent.Reduce(tid, dstParent, srcParent)
+						parent.Reduce(tid, h.HP.CurrentID(dstParent), srcParent)
 					}
 				}
 			}
@@ -214,12 +217,12 @@ func ccHookDrain(h *runtime.Host, eng *engine, workDone *runtime.BoolReducer,
 			}
 			if srcParent > dstParent {
 				workDone.Reduce(true)
-				if l, applied, changed := ah.ReduceAsync(tid, srcParent, dstParent); applied && changed {
+				if l, applied, changed := ah.ReduceAsync(tid, h.HP.CurrentID(srcParent), dstParent); applied && changed {
 					fr.Activate(int(l))
 				}
 			} else if dstParent > srcParent {
 				workDone.Reduce(true)
-				if l, applied, changed := ah.ReduceAsync(tid, dstParent, srcParent); applied && changed {
+				if l, applied, changed := ah.ReduceAsync(tid, h.HP.CurrentID(dstParent), srcParent); applied && changed {
 					fr.Activate(int(l))
 				}
 			}
@@ -282,7 +285,7 @@ func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 			// request parent(parent(n)).
 			reqBody := func(_ int, local graph.NodeID) {
 				p := parent.Read(h.HP.GlobalID(local))
-				parent.Request(p)
+				parent.Request(h.HP.CurrentID(p))
 			}
 			h.TimeCompute(func() {
 				if fr != nil {
@@ -295,7 +298,7 @@ func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 			body := func(tid int, local graph.NodeID) {
 				gid := h.HP.GlobalID(local)
 				p := parent.Read(gid)
-				gp := parent.Read(p)
+				gp := parent.Read(h.HP.CurrentID(p))
 				if p != gp {
 					parent.Reduce(tid, gid, gp)
 				}
@@ -362,35 +365,41 @@ func ccChaseBody(h *runtime.Host, eng *engine, parent npm.Map[graph.NodeID],
 				fr.Activate(int(n))
 			}
 		}
-		v := gid
-		var root graph.NodeID
+		// The cursor is an (address, original-ID) pair: parent *values* live
+		// in original-ID space (see initOwn), while every Load/ReduceAsync
+		// target must be a current (reordered) node ID. Without reordering
+		// the two coincide and this is the plain single-cursor walk.
+		vAddr := gid
+		vOrig := h.HP.OriginalID(gid)
+		var root graph.NodeID // original-ID-space label
 		haveRoot := false
 		for {
-			p, ok := ah.Load(v) // v=gid is our master, always readable; deeper nodes may not be
+			p, ok := ah.Load(vAddr) // vAddr=gid is our master, always readable; deeper nodes may not be
 			if !ok {
-				miss(v)
+				miss(vAddr)
 				break
 			}
-			if p == v {
-				root, haveRoot = v, true
+			if p == vOrig {
+				root, haveRoot = p, true
 				break
 			}
-			gp, ok := ah.Load(p)
+			pAddr := h.HP.CurrentID(p)
+			gp, ok := ah.Load(pAddr)
 			if !ok {
-				miss(p)
+				miss(pAddr)
 				break
 			}
 			if gp == p {
-				root, haveRoot = p, true // parent is a root; v already points at it
+				root, haveRoot = gp, true // parent is a root; v already points at it
 				break
 			}
 			// Jump v past p. Local targets apply via CAS (activating the
 			// changed master, the BSP rule: a parent that moved re-examines
 			// next round); remote targets buffer for the next reduce-sync.
-			if lv, applied, ch := ah.ReduceAsync(tid, v, gp); applied && ch {
+			if lv, applied, ch := ah.ReduceAsync(tid, vAddr, gp); applied && ch {
 				fr.Activate(int(lv))
 			}
-			v = gp
+			vAddr, vOrig = h.HP.CurrentID(gp), gp
 		}
 		// The walk halves the chain but only moves gid one jump; finish by
 		// pulling gid all the way to the terminal root so one drain fully

@@ -93,6 +93,11 @@ func multilevel(g *graph.Graph, ccfg runtime.Config, acfg Config,
 	opts CDOptions, leiden bool) (CDResult, error) {
 
 	ccfg.Policy = partition.OEC
+	// Community labels are used as node addresses throughout the refinement
+	// and contraction (labels index the coarse graph), so the multi-level
+	// driver keeps every level's cluster in natural ID order — vertex
+	// reordering (DESIGN.md §14) applies to the flat SPMD algorithms only.
+	ccfg.Reorder = ""
 	var res CDResult
 	// proj[i] = current coarse-level node holding original node i.
 	proj := make([]graph.NodeID, g.NumNodes())

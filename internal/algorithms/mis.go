@@ -63,7 +63,10 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 	n64 := float64(h.HP.NumGlobalNodes() + 1)
 	h.ParForMasters(func(_ int, n graph.NodeID) {
 		gid := h.HP.GlobalID(n)
-		prio.Set(gid, degree.Read(gid)*n64+float64(gid))
+		// Tie-break on the original ID so priorities — and therefore the
+		// selected set — are identical with vertex reordering on or off
+		// (degrees are permutation-invariant already).
+		prio.Set(gid, degree.Read(gid)*n64+float64(h.HP.OriginalID(gid)))
 	})
 	prio.InitSync()
 	prio.PinMirrors()
@@ -295,7 +298,7 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 	state.RequestSync()
 	for g := lo; g < hi; g++ {
 		if state.Read(g) == misIn {
-			out[g] = true
+			out[h.HP.OriginalID(g)] = true
 			size.Reduce(1)
 		}
 	}

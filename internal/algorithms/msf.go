@@ -153,8 +153,14 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 					continue
 				}
 				crossing = true
-				edge := MinEdge{W: local.Weight(e), A: min(gid, dgid), B: max(gid, dgid)}
-				cand.Reduce(tid, rs, edge)
+				// Normalize endpoints in original-ID space so the edge's
+				// identity — and the (weight, endpoints) total order — is
+				// the same with reordering on or off; the root value rs is
+				// an original ID too, so address the reduce at its current
+				// ID (DESIGN.md §14).
+				oa, ob := h.HP.OriginalID(gid), h.HP.OriginalID(dgid)
+				edge := MinEdge{W: local.Weight(e), A: min(oa, ob), B: max(oa, ob)}
+				cand.Reduce(tid, h.HP.CurrentID(rs), edge)
 			}
 			if crossing && frProp != nil {
 				frProp.Activate(int(n))
@@ -181,8 +187,8 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 			h.ParForMasters(func(_ int, local graph.NodeID) {
 				c := cand.Read(h.HP.GlobalID(local))
 				if !math.IsInf(c.W, 1) {
-					parent.Request(c.A)
-					parent.Request(c.B)
+					parent.Request(h.HP.CurrentID(c.A))
+					parent.Request(h.HP.CurrentID(c.B))
 				}
 			})
 		})
@@ -197,12 +203,12 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 				if math.IsInf(c.W, 1) {
 					return
 				}
-				ra, rb := parent.Read(c.A), parent.Read(c.B)
+				ra, rb := parent.Read(h.HP.CurrentID(c.A)), parent.Read(h.HP.CurrentID(c.B))
 				other := ra
-				if ra == gid {
+				if ra == h.HP.OriginalID(gid) {
 					other = rb
 				}
-				cand.Request(other)
+				cand.Request(h.HP.CurrentID(other))
 			})
 		})
 		cand.RequestSync()
@@ -220,15 +226,19 @@ func MSF(h *runtime.Host, cfg Config, comp []graph.NodeID) MSFStats {
 				if math.IsInf(c.W, 1) {
 					return
 				}
-				ra, rb := parent.Read(c.A), parent.Read(c.B)
+				// Root comparisons run in original-ID space (parent values
+				// and edge endpoints both live there); map lookups translate
+				// to current IDs at the access.
+				og := h.HP.OriginalID(gid)
+				ra, rb := parent.Read(h.HP.CurrentID(c.A)), parent.Read(h.HP.CurrentID(c.B))
 				other := ra
-				if ra == gid {
+				if ra == og {
 					other = rb
 				}
-				if other == gid {
+				if other == og {
 					return // endpoints merged earlier in this round's view
 				}
-				if cand.Read(other) == c && gid < other {
+				if cand.Read(h.HP.CurrentID(other)) == c && og < other {
 					return // smaller root of a mutual pair: stays the root
 				}
 				parent.Reduce(tid, gid, other) // single writer: own pointer

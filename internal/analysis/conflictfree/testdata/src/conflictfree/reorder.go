@@ -1,0 +1,56 @@
+// Reorder shapes: the §14 permutation scatters carry statement-level
+// //kimbap:conflictfree annotations — inv is a permutation (each perm
+// slot written once) and the CSR scatter writes into per-node reserved
+// ranges. A lock anywhere on the scatter path voids the annotation.
+package conflictfree
+
+import (
+	"sync"
+
+	"kimbap/internal/par"
+)
+
+// permScatterClean is computeReordering's perm-from-inv scatter: every
+// write lands in a distinct slot because inv is a bijection.
+func permScatterClean(perm, inv []uint32) {
+	//kimbap:conflictfree
+	par.Static(2, len(inv), func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			perm[inv[j]] = uint32(j)
+		}
+	})
+}
+
+// csrScatterClean is applyReordering's edge scatter: node v's edges land
+// in new node perm[v]'s reserved offset range, disjoint across workers.
+func csrScatterClean(perm []uint32, offsets []int64, srcDsts, dsts []uint32) {
+	//kimbap:conflictfree
+	par.Dynamic(2, len(perm), 64, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			at := offsets[perm[v]]
+			dsts[at] = perm[srcDsts[v]]
+		}
+	})
+}
+
+type lockedPerm struct {
+	mu   sync.Mutex
+	perm []uint32
+}
+
+func (l *lockedPerm) set(i, j int) {
+	l.mu.Lock()
+	l.perm[i] = uint32(j)
+	l.mu.Unlock()
+}
+
+// permScatterLocked serializes the scatter through a mutex — safe but no
+// longer conflict-free, exactly what the annotation must reject.
+func permScatterLocked(l *lockedPerm, inv []uint32) {
+	//kimbap:conflictfree
+	par.Static(2, len(inv), func(_, lo, hi int) { // want `conflict-free path acquires a lock: par.Static closure -> lockedPerm.set -> Mutex.Lock`
+		for j := lo; j < hi; j++ {
+			l.set(int(inv[j]), j)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+// Reorder shapes: the §14 vertex-reordering pass is annotated
+// //kimbap:deterministic — distinct packed sort keys give one unique
+// ascending order at every worker count, and the permutation scatter
+// writes each slot exactly once. The tempting shortcuts (bucketing ties
+// in a map, randomized tie-breaks) all break run-to-run identity.
+package deterministic
+
+import (
+	"math/rand"
+
+	"kimbap/internal/par"
+)
+
+// permScatterClean mirrors computeReordering's final stage: inv is a
+// permutation, so perm[inv[j]] = j writes every slot exactly once, and a
+// static range split makes the result worker-count invariant. Clean.
+//
+//kimbap:deterministic
+func permScatterClean(perm, inv []uint32) {
+	par.Static(2, len(inv), func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			perm[inv[j]] = uint32(j)
+		}
+	})
+}
+
+// degreeOrderByMapDirty buckets nodes by degree in a map and walks it to
+// emit the permutation — map iteration order randomizes the emitted
+// order run to run.
+//
+//kimbap:deterministic
+func degreeOrderByMapDirty(degrees map[int]int) []int { // want `ranges over a map`
+	var order []int
+	for v := range degrees {
+		order = append(order, v)
+	}
+	return order
+}
+
+// tieBreakByRandDirty breaks equal-degree ties with a random draw
+// instead of the original ID.
+//
+//kimbap:deterministic
+func tieBreakByRandDirty(a, b int) bool { // want `calls rand\.Intn`
+	if a != b {
+		return a < b
+	}
+	return rand.Intn(2) == 0
+}

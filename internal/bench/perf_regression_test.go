@@ -1,7 +1,9 @@
 package bench
 
 import (
+	gort "runtime"
 	"testing"
+	"time"
 
 	"kimbap/internal/algorithms"
 	"kimbap/internal/comm"
@@ -111,18 +113,32 @@ func TestAdaptiveModeGate(t *testing.T) {
 // materialize-then-build twin on the same file; both pay the same block
 // decode and the same final adjacency sort, and the twin's extra
 // full-edge-list materialization pays for the streaming path's second
-// scan. A warmup run outside the timed window fills the buffer pools, so
-// the measurement reflects the steady state the contract describes.
+// scan. A warmup pair outside the timed window fills the buffer pools and
+// a forced GC clears neighboring tests' allocation debt; reps are
+// interleaved (stream, twin, stream, ...) with best-of-4 kept per side so
+// a transient stall cannot land on one side alone — on a busy one-core
+// host, sequential per-side windows let exactly that happen.
 func TestStreamIngestGate(t *testing.T) {
-	cfg := Config{Scale: Full, Threads: 4, Reps: 2}
+	cfg := Config{Scale: Full, Threads: 4, Reps: 1}
 	fx, cleanup := cfg.ioFixtureFor(gen.Friendster)
 	defer cleanup()
 	fx.streamKMB2(cfg.Threads) // warm the block and count pools
+	fx.loadKMB2(cfg.Threads)
+	gort.GC()
 
-	stream := cfg.timeOp(PerfRecord{Name: "gate_stream"}, func() {},
-		func() { fx.streamKMB2(cfg.Threads) })
-	inmem := cfg.timeOp(PerfRecord{Name: "gate_inmem"}, func() {},
-		func() { fx.loadKMB2(cfg.Threads) })
+	var stream, inmem PerfRecord
+	for rep := 0; rep < 4; rep++ {
+		s := cfg.timeOp(PerfRecord{Name: "gate_stream"}, func() {},
+			func() { fx.streamKMB2(cfg.Threads) })
+		if rep == 0 || s.WallNsPerOp < stream.WallNsPerOp {
+			stream = s
+		}
+		m := cfg.timeOp(PerfRecord{Name: "gate_inmem"}, func() {},
+			func() { fx.loadKMB2(cfg.Threads) })
+		if rep == 0 || m.WallNsPerOp < inmem.WallNsPerOp {
+			inmem = m
+		}
+	}
 	csr := csrBytes(fx.g)
 	if stream.PeakAllocBytes == 0 || inmem.WallNsPerOp == 0 {
 		t.Fatal("streaming gate measured nothing; gate workload is broken")
@@ -137,6 +153,111 @@ func TestStreamIngestGate(t *testing.T) {
 	if limit := inmem.WallNsPerOp * 1.2; stream.WallNsPerOp > limit {
 		t.Errorf("streaming build = %.1fms, above 120%% of the in-memory build %.1fms (limit %.1fms)",
 			stream.WallNsPerOp/1e6, inmem.WallNsPerOp/1e6, limit/1e6)
+	}
+}
+
+// TestReorderLocalityGate holds the §14 blocked-degree reordering to a real
+// win: dense CC-SV on the locality workload (a 2^17-node R-MAT whose
+// property and adjacency arrays spill the last-level cache) must finish
+// within 95% of the unreordered run at 4 hosts x 4 threads, both sides
+// measured live in this process. An untimed warmup pair plus a forced GC
+// clears allocation debt left by neighboring tests, reps are interleaved
+// (base, reordered, base, ...) so clock drift lands on both sides equally,
+// and best-of-5 damps scheduler noise; the measured ratio sits near 88-92%
+// on one core, leaving several points of margin. The suite's standard
+// R-MAT (2^11 nodes) fits in cache outright and shows no spread, which is
+// why this gate carries its own instance — the same move the
+// frontier-bytes gate makes. Reorder + partition run inside NewCluster,
+// outside the timed window, so the gate isolates the steady-state locality
+// effect; the reorder pass's own cost is bounded by
+// TestReorderBuildCostGate below.
+func TestReorderLocalityGate(t *testing.T) {
+	cfg := Config{Scale: Full, Threads: 4}
+	g := cfg.localityGraph()
+	once := func(pol graph.ReorderPolicy) time.Duration {
+		cluster, err := runtime.NewCluster(g, runtime.Config{
+			NumHosts: 4, ThreadsPerHost: cfg.Threads, Reorder: pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		out := make([]graph.NodeID, g.NumNodes())
+		start := time.Now()
+		cluster.Run(func(h *runtime.Host) {
+			algorithms.CCSV(h, algorithms.Config{Variant: npm.Full, Dense: true}, out)
+		})
+		return time.Since(start)
+	}
+	once("")
+	once(graph.ReorderBlockedDegree)
+	gort.GC()
+	base, reord := time.Duration(-1), time.Duration(-1)
+	for rep := 0; rep < 5; rep++ {
+		if b := once(""); base < 0 || b < base {
+			base = b
+		}
+		if r := once(graph.ReorderBlockedDegree); reord < 0 || r < reord {
+			reord = r
+		}
+	}
+	if base <= 0 {
+		t.Fatal("unreordered CC run measured zero wall time; gate workload is broken")
+	}
+	t.Logf("dense CC-SV 4h/4t on 2^17 R-MAT: reordered=%.1fms base=%.1fms (%.1f%%)",
+		float64(reord)/1e6, float64(base)/1e6, 100*float64(reord)/float64(base))
+	if limit := base * 95 / 100; reord > limit {
+		t.Errorf("reordered CC = %.1fms, above 95%% of the unreordered %.1fms (limit %.1fms)",
+			float64(reord)/1e6, float64(base)/1e6, float64(limit)/1e6)
+	}
+}
+
+// TestReorderBuildCostGate bounds the reorder pass itself: the fused
+// BuildReordered over the scattered friendster-analogue KMB2 file must
+// finish within 115% of the plain two-scan Build on the same bytes — the
+// degree-keyed sort and the permuted CSR scatter together may cost at most
+// 15% of build time. The fused pass reuses the first scan's degree counts
+// for the permutation and scatters the second scan straight into the
+// permuted CSR, which is what keeps the delta that small (a standalone
+// post-build Reorder re-walks the whole CSR and costs a large fraction of
+// a build). The scattered fixture matters: a KMB2 dumped from a sorted CSR
+// hands the plain build a nearly-sorted adjacency, billing the reordered
+// side for a full adjacency sort the baseline never pays — raw ingest
+// order makes both sides sort from scratch. Both sides live with an
+// untimed warmup pair and a forced GC first, reps interleaved and
+// best-of-5 kept per side so a transient stall cannot land on one side
+// alone.
+func TestReorderBuildCostGate(t *testing.T) {
+	cfg := Config{Scale: Full, Threads: 4}
+	fx, cleanup := cfg.ioFixtureScattered(gen.Friendster)
+	defer cleanup()
+	fx.streamKMB2(cfg.Threads) // warm the block and count pools
+	fx.streamKMB2Reordered(cfg.Threads, graph.ReorderBlockedDegree, 4)
+	gort.GC()
+
+	timed := func(f func()) time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+	plain, fused := time.Duration(-1), time.Duration(-1)
+	for rep := 0; rep < 5; rep++ {
+		if p := timed(func() { fx.streamKMB2(cfg.Threads) }); plain < 0 || p < plain {
+			plain = p
+		}
+		f := timed(func() { fx.streamKMB2Reordered(cfg.Threads, graph.ReorderBlockedDegree, 4) })
+		if fused < 0 || f < fused {
+			fused = f
+		}
+	}
+	if plain <= 0 {
+		t.Fatal("plain stream build measured zero wall time; gate workload is broken")
+	}
+	t.Logf("stream build: plain=%.1fms fused reorder=%.1fms (%.1f%%)",
+		float64(plain)/1e6, float64(fused)/1e6, 100*float64(fused)/float64(plain))
+	if limit := plain + plain*15/100; fused > limit {
+		t.Errorf("fused build+reorder = %.1fms, above 115%% of the plain build %.1fms (limit %.1fms)",
+			float64(fused)/1e6, float64(plain)/1e6, float64(limit)/1e6)
 	}
 }
 

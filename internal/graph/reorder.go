@@ -1,0 +1,338 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"kimbap/internal/par"
+)
+
+// Locality-aware vertex reordering (DESIGN.md §14). A reordering pass
+// permutes node IDs at ingestion time so that the IDs touched most often
+// by EdgeMap — the high-degree hubs a power-law graph's edges mostly point
+// at — are clustered into a dense prefix of the ID space. Property arrays,
+// frontier bitsets, and the base-relative wire encodings all get cheaper
+// when the hot IDs are adjacent; the algorithms layer translates between
+// the two ID spaces at its boundaries so results are reported in original
+// IDs, bit-identical with reordering on or off.
+//
+// Determinism is by construction, the same argument as the counting-sort
+// build: every node gets a distinct packed sort key (inverted-degree high
+// bits, original ID low bits), distinct keys have a unique ascending
+// order, and any correct sort — at any worker count — produces it. The
+// permuted CSR is rebuilt with the existing conflict-free scatter and the
+// total (dst, weight) adjacency order.
+
+// ReorderPolicy names a vertex-reordering policy.
+type ReorderPolicy string
+
+const (
+	// ReorderNone leaves the graph in its original ID order.
+	ReorderNone ReorderPolicy = "none"
+	// ReorderDegree sorts all nodes by descending degree, ties broken by
+	// ascending original ID: hubs cluster at the low end of the ID space.
+	ReorderDegree ReorderPolicy = "degree"
+	// ReorderBlockedDegree sorts by descending degree *within*
+	// partition-sized blocks (the same degree-balanced boundaries the
+	// partitioner computes), so every node stays inside its block and the
+	// partition assignment is preserved exactly.
+	ReorderBlockedDegree ReorderPolicy = "blocked-degree"
+)
+
+// ReorderPolicies lists the policies that actually permute (ReorderNone is
+// the absence of a policy).
+var ReorderPolicies = []ReorderPolicy{ReorderDegree, ReorderBlockedDegree}
+
+// Reordering is a node permutation and its inverse. Perm maps original IDs
+// to reordered ("current") IDs; Inv maps back. For ReorderBlockedDegree,
+// Boundaries carries the block bounds the permutation preserves — valid in
+// both ID spaces, since each block maps onto itself — so the partitioner
+// can adopt them instead of recomputing.
+type Reordering struct {
+	Policy     ReorderPolicy
+	Perm       []NodeID // original -> current
+	Inv        []NodeID // current -> original
+	Boundaries []NodeID // blocked-degree only: len blocks+1, else nil
+}
+
+// CurrentID maps an original node ID into the reordered space. A nil
+// receiver is the identity, so call sites need no reorder-enabled branch.
+func (ro *Reordering) CurrentID(orig NodeID) NodeID {
+	if ro == nil {
+		return orig
+	}
+	return ro.Perm[orig]
+}
+
+// OriginalID maps a reordered node ID back to the original space. A nil
+// receiver is the identity.
+func (ro *Reordering) OriginalID(cur NodeID) NodeID {
+	if ro == nil {
+		return cur
+	}
+	return ro.Inv[cur]
+}
+
+// ReorderOptions configures a Reorder pass.
+type ReorderOptions struct {
+	Policy ReorderPolicy
+	// Blocks is the block count for ReorderBlockedDegree — normally the
+	// host count the graph will be partitioned across. Values < 1 default
+	// to 1 (degenerating to a whole-graph degree sort that still records
+	// boundaries).
+	Blocks int
+	// Workers is the par pool width (0 = all cores). The output is
+	// bit-identical at every setting.
+	Workers int
+}
+
+// Reorder permutes g's node IDs under the given policy and returns the
+// permuted CSR plus the permutation. The input graph is not modified. For
+// ReorderNone (or empty policy) it returns g unchanged with a nil
+// Reordering; unknown policies are an error.
+//
+//kimbap:deterministic
+func Reorder(g *Graph, opts ReorderOptions) (*Graph, *Reordering, error) {
+	switch opts.Policy {
+	case ReorderNone, "":
+		return g, nil, nil
+	case ReorderDegree, ReorderBlockedDegree:
+	default:
+		return nil, nil, fmt.Errorf("graph: unknown reorder policy %q (have %v)",
+			opts.Policy, ReorderPolicies)
+	}
+	workers := par.Resolve(opts.Workers)
+	n := g.NumNodes()
+	ro := computeReordering(n, g.NumEdges(),
+		func(v int) int64 { return int64(g.Degree(NodeID(v))) },
+		opts.Policy, opts.Blocks, workers)
+	return applyReordering(g, ro, workers), ro, nil
+}
+
+// BlockBoundaries computes the degree-balanced block bounds the
+// partitioner uses for master ranges: len blocks+1, bounds[b] ≤ v <
+// bounds[b+1] puts node v in block b. Exported so the blocked-degree
+// reorder and the partitioner share one definition — preservation of the
+// partition assignment depends on the walks being identical.
+func BlockBoundaries(g *Graph, blocks int) []NodeID {
+	return boundariesFromDegrees(g.NumNodes(), g.NumEdges(), blocks,
+		func(v int) int64 { return int64(g.Degree(NodeID(v))) })
+}
+
+// boundariesFromDegrees is the shared walk: each node weighs degree+1 (so
+// empty nodes also spread), block b ends at the first node where the
+// accumulated weight reaches b/blocks of the total.
+func boundariesFromDegrees(n int, totalEdges int64, blocks int, degree func(v int) int64) []NodeID {
+	if blocks < 1 {
+		panic("graph: block count must be >= 1")
+	}
+	total := totalEdges + int64(n)
+	bounds := make([]NodeID, blocks+1)
+	bounds[blocks] = NodeID(n)
+	target := total / int64(blocks)
+	h := 1
+	var acc int64
+	for v := 0; v < n && h < blocks; v++ {
+		acc += degree(v) + 1
+		if acc >= target*int64(h) {
+			bounds[h] = NodeID(v + 1)
+			h++
+		}
+	}
+	for ; h < blocks; h++ {
+		bounds[h] = NodeID(n)
+	}
+	return bounds
+}
+
+// computeReordering builds the permutation for n nodes from a degree
+// oracle. Each node's sort key packs the bit-inverted (clamped) degree
+// above the original ID, so ascending key order is descending degree with
+// ascending-ID ties — a total order with distinct keys, hence one unique
+// result at every worker count.
+func computeReordering(n int, totalEdges int64, degree func(v int) int64,
+	policy ReorderPolicy, blocks, workers int) *Reordering {
+
+	ro := &Reordering{
+		Policy: policy,
+		Perm:   make([]NodeID, n),
+		Inv:    make([]NodeID, n),
+	}
+	keys := make([]uint64, n)
+	par.Static(workers, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			d := degree(v)
+			if d > math.MaxUint32 {
+				d = math.MaxUint32
+			}
+			keys[v] = (math.MaxUint32-uint64(d))<<32 | uint64(v)
+		}
+	})
+	if policy == ReorderBlockedDegree {
+		if blocks < 1 {
+			blocks = 1
+		}
+		ro.Boundaries = boundariesFromDegrees(n, totalEdges, blocks, degree)
+		// Sort each block's key range independently; every node stays in
+		// its block, so the boundaries hold in both ID spaces.
+		par.Dynamic(workers, blocks, 1, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				slices.Sort(keys[ro.Boundaries[b]:ro.Boundaries[b+1]])
+			}
+		})
+	} else {
+		parallelSortKeys(keys, workers)
+	}
+	par.Static(workers, n, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ro.Inv[j] = NodeID(keys[j] & math.MaxUint32)
+		}
+	})
+	// Inv is a permutation, so every Perm slot is written exactly once.
+	//
+	//kimbap:conflictfree
+	par.Static(workers, n, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ro.Perm[ro.Inv[j]] = NodeID(j)
+		}
+	})
+	return ro
+}
+
+// parallelSortKeys sorts keys ascending: per-worker chunk sorts over the
+// static par.Range split, then log₂(workers) rounds of pairwise run
+// merges. Keys are distinct, so the result is the unique sorted order
+// regardless of the chunking.
+func parallelSortKeys(keys []uint64, workers int) {
+	n := len(keys)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4096 {
+		slices.Sort(keys)
+		return
+	}
+	bounds := make([]int, workers+1)
+	for w := 0; w < workers; w++ {
+		bounds[w], _ = par.Range(w, workers, n)
+	}
+	bounds[workers] = n
+	par.Do(workers, func(w int) {
+		slices.Sort(keys[bounds[w]:bounds[w+1]])
+	})
+	scratch := make([]uint64, n)
+	src, dst := keys, scratch
+	for len(bounds) > 2 {
+		runs := len(bounds) - 1
+		pairs := (runs + 1) / 2
+		par.Dynamic(workers, pairs, 1, func(plo, phi int) {
+			for p := plo; p < phi; p++ {
+				lo := bounds[2*p]
+				if 2*p+2 > runs {
+					// Odd trailing run: carry it into the next round.
+					copy(dst[lo:bounds[2*p+1]], src[lo:bounds[2*p+1]])
+					continue
+				}
+				mid, hi := bounds[2*p+1], bounds[2*p+2]
+				mergeKeyRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}
+		})
+		nb := bounds[:0:0]
+		for i := 0; i < len(bounds); i += 2 {
+			nb = append(nb, bounds[i])
+		}
+		if nb[len(nb)-1] != n {
+			nb = append(nb, n)
+		}
+		bounds = nb
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// mergeKeyRuns merges two sorted runs into dst (len(dst) = len(a)+len(b)).
+func mergeKeyRuns(dst, a, b []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// applyReordering rebuilds the CSR under the permutation: new offsets from
+// permuted degrees, a conflict-free scatter (each original node owns its
+// new node's full adjacency range), then the shared total-order adjacency
+// sort — so the result is independent of scatter order, and identical to
+// what the fused streaming path (StreamBuilder.BuildReordered) produces.
+func applyReordering(g *Graph, ro *Reordering, workers int) *Graph {
+	n, m := g.NumNodes(), g.NumEdges()
+	perm := ro.Perm
+	ng := &Graph{offsets: make([]int64, n+1), dsts: make([]NodeID, m)}
+	if g.weights != nil {
+		ng.weights = make([]float64, m)
+	}
+	par.Static(workers, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			ng.offsets[perm[v]+1] = g.offsets[v+1] - g.offsets[v]
+		}
+	})
+	par.PrefixSum(workers, ng.offsets)
+	// Scatter: node v's edges land in new node perm[v]'s reserved range —
+	// ranges are disjoint, so no two workers touch the same slot.
+	//
+	//kimbap:conflictfree
+	par.Dynamic(workers, n, 128, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			elo, ehi := g.offsets[v], g.offsets[v+1]
+			at := ng.offsets[perm[v]]
+			for e := elo; e < ehi; e++ {
+				ng.dsts[at] = perm[g.dsts[e]]
+				if ng.weights != nil {
+					ng.weights[at] = g.weights[e]
+				}
+				at++
+			}
+		}
+	})
+	sortAdjacency(ng, workers)
+	return ng
+}
+
+// mergeCountsPermuted is mergeCounts with a permutation applied to the
+// offset targets: column v's sum lands at offsets[perm[v]+1] and worker
+// cursors start at offsets[perm[v]], so a scatter indexed by *original*
+// source IDs writes straight into the *permuted* CSR. Used by the fused
+// streaming reorder stage.
+func mergeCountsPermuted(workers, n int, cnt, offsets []int64, perm []NodeID) {
+	par.Static(workers, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s int64
+			for w := 0; w < workers; w++ {
+				s += cnt[w*n+v]
+			}
+			offsets[perm[v]+1] = s
+		}
+	})
+	par.PrefixSum(workers, offsets)
+	par.Static(workers, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			pos := offsets[perm[v]]
+			for w := 0; w < workers; w++ {
+				c := cnt[w*n+v]
+				cnt[w*n+v] = pos
+				pos += c
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// reorderTestGraphs covers the shapes the permutation logic must survive:
+// a power-law-ish random graph, all-equal degrees (every key ties on
+// degree, so order falls back to original IDs), isolated vertices (zero
+// degree, no adjacency to scatter), a single vertex, and the empty graph.
+func reorderTestGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	graphs := map[string]*Graph{
+		"empty":  NewBuilder(0).BuildSerial(),
+		"single": NewBuilder(1).BuildSerial(),
+	}
+
+	rnd := NewBuilder(120)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 700; i++ {
+		// Squaring skews sources toward high IDs: distinct hub degrees.
+		s := NodeID(r.Intn(120) * r.Intn(120) / 120)
+		d := NodeID(r.Intn(120))
+		rnd.AddWeightedEdge(s, d, float64(r.Intn(9)+1))
+	}
+	graphs["random-weighted"] = rnd.BuildSerial()
+
+	ring := NewBuilder(64)
+	for i := 0; i < 64; i++ {
+		ring.AddEdge(NodeID(i), NodeID((i+1)%64))
+		ring.AddEdge(NodeID((i+1)%64), NodeID(i))
+	}
+	graphs["equal-degrees"] = ring.BuildSerial()
+
+	iso := NewBuilder(50)
+	for i := 0; i < 20; i++ {
+		iso.AddEdge(NodeID(i), NodeID((i+1)%20))
+	}
+	graphs["isolated-tail"] = iso.BuildSerial()
+	return graphs
+}
+
+// TestReorderPermutationProperties checks, for every policy, graph shape,
+// and worker count: Perm/Inv are mutually inverse bijections, the
+// reordered graph is the relabeled original (same adjacency under the
+// permutation, weights carried), and the policy's ordering contract holds
+// (descending degree globally, or within each preserved block).
+func TestReorderPermutationProperties(t *testing.T) {
+	for gname, g := range reorderTestGraphs(t) {
+		for _, pol := range ReorderPolicies {
+			for _, workers := range []int{1, 4, 8} {
+				t.Run(fmt.Sprintf("%s/%s/workers=%d", gname, pol, workers), func(t *testing.T) {
+					rg, ro, err := Reorder(g, ReorderOptions{Policy: pol, Blocks: 4, Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					n := g.NumNodes()
+					if ro == nil || len(ro.Perm) != n || len(ro.Inv) != n {
+						t.Fatalf("reordering arrays: got %+v, want length %d", ro, n)
+					}
+					for i := 0; i < n; i++ {
+						if ro.Inv[ro.Perm[i]] != NodeID(i) {
+							t.Fatalf("inverse[perm[%d]] = %d", i, ro.Inv[ro.Perm[i]])
+						}
+						if ro.Perm[ro.Inv[i]] != NodeID(i) {
+							t.Fatalf("perm[inverse[%d]] = %d", i, ro.Perm[ro.Inv[i]])
+						}
+					}
+					if rg.NumNodes() != n || rg.NumEdges() != g.NumEdges() {
+						t.Fatalf("size changed: %d/%d nodes, %d/%d edges",
+							rg.NumNodes(), n, rg.NumEdges(), g.NumEdges())
+					}
+					// Adjacency is relabeled, not reshaped: orig v's
+					// neighbor multiset mapped through Perm must equal
+					// perm[v]'s reordered adjacency (both in total order).
+					for v := 0; v < n; v++ {
+						type ew struct {
+							d NodeID
+							w float64
+						}
+						var want []ew
+						lo, hi := g.EdgeRange(NodeID(v))
+						for e := lo; e < hi; e++ {
+							want = append(want, ew{ro.Perm[g.Dst(e)], g.Weight(e)})
+						}
+						slices.SortFunc(want, func(a, b ew) int {
+							if a.d != b.d {
+								return int(a.d) - int(b.d)
+							}
+							switch {
+							case a.w < b.w:
+								return -1
+							case a.w > b.w:
+								return 1
+							}
+							return 0
+						})
+						var got []ew
+						lo, hi = rg.EdgeRange(ro.Perm[v])
+						for e := lo; e < hi; e++ {
+							got = append(got, ew{rg.Dst(e), rg.Weight(e)})
+						}
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("node %d adjacency: want %v, got %v", v, want, got)
+						}
+					}
+					// Ordering contract: degree non-increasing, original ID
+					// ascending within equal degrees — globally or per block.
+					blocks := [][2]NodeID{{0, NodeID(n)}}
+					if pol == ReorderBlockedDegree {
+						if want := BlockBoundaries(g, 4); !reflect.DeepEqual(ro.Boundaries, want) {
+							t.Fatalf("boundaries %v, BlockBoundaries %v", ro.Boundaries, want)
+						}
+						blocks = blocks[:0]
+						for b := 0; b+1 < len(ro.Boundaries); b++ {
+							blocks = append(blocks, [2]NodeID{ro.Boundaries[b], ro.Boundaries[b+1]})
+						}
+					}
+					for _, blk := range blocks {
+						for j := blk[0] + 1; j < blk[1]; j++ {
+							dPrev, dCur := g.Degree(ro.Inv[j-1]), g.Degree(ro.Inv[j])
+							if dPrev < dCur || (dPrev == dCur && ro.Inv[j-1] >= ro.Inv[j]) {
+								t.Fatalf("order violated at %d: (%d,deg %d) before (%d,deg %d)",
+									j, ro.Inv[j-1], dPrev, ro.Inv[j], dCur)
+							}
+							if pol == ReorderBlockedDegree {
+								// Every node stays inside its block.
+								if ro.Inv[j] < blk[0] || ro.Inv[j] >= blk[1] {
+									t.Fatalf("node %d left block [%d,%d)", ro.Inv[j], blk[0], blk[1])
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReorderDeterministicAcrossWorkers pins bit-identical permutations
+// and CSRs at every worker count (the //kimbap:deterministic contract).
+func TestReorderDeterministicAcrossWorkers(t *testing.T) {
+	for gname, g := range reorderTestGraphs(t) {
+		for _, pol := range ReorderPolicies {
+			refG, refRo, err := Reorder(g, ReorderOptions{Policy: pol, Blocks: 3, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				rg, ro, err := Reorder(g, ReorderOptions{Policy: pol, Blocks: 3, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(refRo.Perm, ro.Perm) || !reflect.DeepEqual(refRo.Inv, ro.Inv) {
+					t.Fatalf("%s/%s: permutation differs at %d workers", gname, pol, workers)
+				}
+				requireGraphsIdentical(t, refG, rg)
+			}
+		}
+	}
+}
+
+func TestReorderNoneAndUnknownPolicy(t *testing.T) {
+	g := reorderTestGraphs(t)["random-weighted"]
+	for _, pol := range []ReorderPolicy{ReorderNone, ""} {
+		rg, ro, err := Reorder(g, ReorderOptions{Policy: pol})
+		if err != nil || rg != g || ro != nil {
+			t.Fatalf("%q: got (%p, %v, %v), want passthrough", pol, rg, ro, err)
+		}
+	}
+	if _, _, err := Reorder(g, ReorderOptions{Policy: "zorder"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	var nilRo *Reordering
+	if nilRo.CurrentID(7) != 7 || nilRo.OriginalID(9) != 9 {
+		t.Fatal("nil Reordering is not the identity")
+	}
+}
+
+// TestStreamBuildReorderedMatchesPostReorder: the fused streaming stage
+// must be bit-identical to reordering the built graph, at every worker
+// count, for both source kinds (text re-scans, KMB2 block reads).
+func TestStreamBuildReorderedMatchesPostReorder(t *testing.T) {
+	const n, m = 97, 600
+	for _, ec := range []edgeCase{{}, {weighted: true, dups: true, selfLoops: true}} {
+		ref := NewBuilder(n)
+		fillBuilder(ref, ec, n, m, 42)
+		srcs := slices.Clone(ref.srcs)
+		dsts := slices.Clone(ref.dsts)
+		weights := slices.Clone(ref.weights)
+		built := ref.BuildSerial()
+
+		dir := t.TempDir()
+		textPath := filepath.Join(dir, "g.txt")
+		kmb2Path := filepath.Join(dir, "g.kmb2")
+		tmp := NewBuilder(n)
+		tmp.srcs, tmp.dsts, tmp.weights = srcs, dsts, weights
+		if err := os.WriteFile(textPath, edgeListText(tmp, n, false), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		writeKMB2Columns(t, kmb2Path, n, srcs, dsts, weights, 7)
+
+		sources := map[string]func() (sourceCloser, error){
+			"text": func() (sourceCloser, error) {
+				return OpenTextConfig(textPath, TextConfig{ShardBytes: 64})
+			},
+			"kmb2": func() (sourceCloser, error) { return OpenKMB2(kmb2Path) },
+		}
+		for sname, open := range sources {
+			src, err := open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pol := range ReorderPolicies {
+				want, wantRo, err := Reorder(built, ReorderOptions{Policy: pol, Blocks: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{1, 4, 8} {
+					t.Run(fmt.Sprintf("%s/%s/%s/workers=%d", ec.name(), sname, pol, w), func(t *testing.T) {
+						got, ro, err := NewStreamBuilder(src).SetWorkers(w).BuildReordered(pol, 4)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(wantRo.Perm, ro.Perm) || !reflect.DeepEqual(wantRo.Inv, ro.Inv) {
+							t.Fatal("fused permutation differs from post-build reorder")
+						}
+						requireGraphsIdentical(t, want, got)
+					})
+				}
+			}
+			// BuildReordered(none) must still behave like Build.
+			got, ro, err := NewStreamBuilder(src).BuildReordered(ReorderNone, 4)
+			if err != nil || ro != nil {
+				t.Fatalf("none: (%v, %v)", ro, err)
+			}
+			requireGraphsIdentical(t, built, got)
+			if err := src.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -200,7 +200,10 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 			}
 			c[s]++
 		}
-		if weighted != (blk.Weights != nil) {
+		// Empty blocks carry no weight-column information: a text shard
+		// holding only comments leaves a pooled block's nil Weights slice
+		// nil even for a weighted source ([:0] of nil is nil).
+		if blk.Len() > 0 && weighted != (blk.Weights != nil) {
 			return fmt.Errorf("graph: block weight column mismatch (source says weighted=%v)", weighted)
 		}
 		pass1[w] += int64(blk.Len())
@@ -277,4 +280,158 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 	}
 	sortAdjacency(g, workers)
 	return g, nil
+}
+
+// BuildReordered is Build with a fused locality reorder stage (DESIGN.md
+// §14): pass 1's per-worker count matrix doubles as the degree oracle for
+// computeReordering, mergeCountsPermuted redirects the offsets and
+// cursors into the permuted ID space, and pass 2 scatters perm[dst] under
+// cursors indexed by the original source — so the permuted CSR is built
+// in the same two scans, without ever materializing the original-order
+// graph. The extra work over Build is the key sort (O(n log n) on node
+// keys, versus O(m) edge traffic) plus one permutation lookup per edge;
+// the reorder_build bench record and its live gate pin that overhead.
+//
+// The result is bit-identical to Reorder(Build()) at every worker count
+// and block size: both scatter the same permuted edge multiset and finish
+// with the same total-order adjacency sort. For ReorderNone (or empty
+// policy) it delegates to Build with a nil Reordering.
+//
+//kimbap:deterministic
+func (sb *StreamBuilder) BuildReordered(policy ReorderPolicy, blocks int) (*Graph, *Reordering, error) {
+	switch policy {
+	case ReorderNone, "":
+		g, err := sb.Build()
+		return g, nil, err
+	case ReorderDegree, ReorderBlockedDegree:
+	default:
+		return nil, nil, fmt.Errorf("graph: unknown reorder policy %q (have %v)",
+			policy, ReorderPolicies)
+	}
+	n := sb.src.NumNodes()
+	if n < 0 {
+		return nil, nil, fmt.Errorf("graph: stream build: negative node count %d", n)
+	}
+	nb := sb.src.NumBlocks()
+	workers := par.Resolve(sb.workers)
+	if workers > nb {
+		workers = nb
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	weighted := sb.src.Weighted()
+	g := &Graph{offsets: make([]int64, n+1)}
+	if nb == 0 {
+		g.dsts = []NodeID{}
+		if weighted {
+			g.weights = []float64{}
+		}
+		ro := computeReordering(n, 0, func(int) int64 { return 0 }, policy, blocks, workers)
+		return g, ro, nil
+	}
+
+	// Pass 1: identical to Build's counting scan.
+	cnt := getCounts(workers * n)
+	pass1 := make([]int64, workers)
+	count := func(w int, blk *EdgeBlock) error {
+		c := cnt[w*n : (w+1)*n]
+		for i, s := range blk.Srcs {
+			if int(s) >= n || int(blk.Dsts[i]) >= n {
+				return fmt.Errorf("graph: edge %d->%d out of range for %d nodes",
+					s, blk.Dsts[i], n)
+			}
+			c[s]++
+		}
+		// Empty blocks carry no weight-column information (see Build).
+		if blk.Len() > 0 && weighted != (blk.Weights != nil) {
+			return fmt.Errorf("graph: block weight column mismatch (source says weighted=%v)", weighted)
+		}
+		pass1[w] += int64(blk.Len())
+		return nil
+	}
+	par.Do(workers, func(w int) { clear(cnt[w*n : (w+1)*n]) })
+	if err := sb.scan(workers, count); err != nil {
+		putCounts(cnt)
+		return nil, nil, err
+	}
+
+	// Reorder stage: the count matrix's column sums are the degrees.
+	var totalEdges int64
+	for _, c := range pass1 {
+		totalEdges += c
+	}
+	degree := func(v int) int64 {
+		var s int64
+		for w := 0; w < workers; w++ {
+			s += cnt[w*n+v]
+		}
+		return s
+	}
+	ro := computeReordering(n, totalEdges, degree, policy, blocks, workers)
+	perm := ro.Perm
+	mergeCountsPermuted(workers, n, cnt, g.offsets, perm)
+
+	m := g.offsets[n]
+	g.dsts = make([]NodeID, m)
+	if weighted {
+		g.weights = make([]float64, m)
+	}
+
+	// Pass 2: the same conflict-free cursor scatter as Build, with both
+	// endpoints translated — cursors are indexed by the original source
+	// (the count columns are), but point into the permuted CSR.
+	pass2 := make([]int64, workers)
+	scatter := func(w int, blk *EdgeBlock) error {
+		c := cnt[w*n : (w+1)*n]
+		seen := pass2[w] + int64(blk.Len())
+		if seen > pass1[w] {
+			return fmt.Errorf("graph: source changed between scans (worker %d saw %d edges, counted %d)",
+				w, seen, pass1[w])
+		}
+		pass2[w] = seen
+		// Unlike Build, destinations index the permutation here, so a
+		// drifted source must fail the dst re-check too.
+		for i, s := range blk.Srcs {
+			if int(s) >= n || int(blk.Dsts[i]) >= n {
+				return fmt.Errorf("graph: source changed between scans (edge %d->%d out of range)",
+					s, blk.Dsts[i])
+			}
+		}
+		if blk.Weights != nil {
+			for i, s := range blk.Srcs {
+				at := c[s]
+				if at >= m {
+					return fmt.Errorf("graph: source changed between scans (cursor overflow at src %d)", s)
+				}
+				c[s] = at + 1
+				g.dsts[at] = perm[blk.Dsts[i]]
+				g.weights[at] = blk.Weights[i]
+			}
+		} else {
+			for i, s := range blk.Srcs {
+				at := c[s]
+				if at >= m {
+					return fmt.Errorf("graph: source changed between scans (cursor overflow at src %d)", s)
+				}
+				c[s] = at + 1
+				g.dsts[at] = perm[blk.Dsts[i]]
+			}
+		}
+		return nil
+	}
+	//kimbap:conflictfree
+	err := sb.scan(workers, scatter)
+	putCounts(cnt)
+	if err != nil {
+		return nil, nil, err
+	}
+	for w := range pass2 {
+		if pass2[w] != pass1[w] {
+			return nil, nil, fmt.Errorf("graph: source changed between scans (worker %d saw %d edges, counted %d)",
+				w, pass2[w], pass1[w])
+		}
+	}
+	sortAdjacency(g, workers)
+	return g, ro, nil
 }

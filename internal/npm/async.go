@@ -79,19 +79,14 @@ func (a *AsyncNodeHandle) Load(n graph.NodeID) (v graph.NodeID, ok bool) {
 		return graph.NodeID(atomic.LoadUint32(p)), true
 	}
 	// The request cache is written only during RequestSync (a BSP phase);
-	// during a drain it is read-only, so a plain binary search is safe.
+	// during a drain it is read-only, so the plain slot-table index is
+	// safe — the same O(1) lookup Read uses (DESIGN.md §14), replacing
+	// the binary search this path used to pay per miss.
 	m := a.m
-	lo, hi := 0, len(m.cacheKeys)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if m.cacheKeys[mid] < n {
-			lo = mid + 1
-		} else {
-			hi = mid
+	if m.cacheSlot != nil {
+		if s := m.cacheSlot[n]; s != 0 {
+			return m.cacheVals[s-1], true
 		}
-	}
-	if lo < len(m.cacheKeys) && m.cacheKeys[lo] == n {
-		return m.cacheVals[lo], true
 	}
 	return 0, false
 }

@@ -206,3 +206,51 @@ func TestFootprintOfNonReporter(t *testing.T) {
 		t.Fatal("non-reporter should yield 0")
 	}
 }
+
+// The §14 dense translation structures must show up in the accounting: the
+// partition's global→local table (and the permutation arrays on a
+// reordered cluster), and the cache slot table once remote requests have
+// materialized a cache.
+func TestMemoryFootprintIncludesTranslationTables(t *testing.T) {
+	g := gen.Grid(8, 8, false, 1)
+	c, err := runtime.NewCluster(g, runtime.Config{
+		NumHosts: 2, ThreadsPerHost: 2, Reorder: graph.ReorderDegree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Run(func(h *runtime.Host) {
+		m := New(Options[graph.NodeID]{
+			Host: h, Op: MinNodeID(), Codec: NodeIDCodec{}, Variant: Full,
+		})
+		h.ParForNodes(func(_ int, l graph.NodeID) {
+			gid := h.HP.GlobalID(l)
+			m.Set(gid, gid)
+		})
+		m.InitSync()
+		tf := h.HP.TranslationFootprint()
+		if tf < int64(h.HP.NumGlobalNodes())*4 {
+			t.Errorf("host %d: translation footprint %d below the dense local table", h.Rank, tf)
+		}
+		before := FootprintOf(m)
+		lo, hi := h.HP.MasterRangeGlobal()
+		if before < int64(hi-lo)*4+tf {
+			t.Errorf("host %d: footprint %d misses translation tables (%d)", h.Rank, before, tf)
+		}
+		// Request a value mastered on the other host: the response cache
+		// brings the dense cache slot table with it.
+		var remote graph.NodeID
+		if lo > 0 {
+			remote = 0
+		} else {
+			remote = hi
+		}
+		m.Request(remote)
+		m.RequestSync()
+		after := FootprintOf(m)
+		if after < before+int64(h.HP.NumGlobalNodes())*4 {
+			t.Errorf("host %d: footprint %d..%d does not account the cache slot table", h.Rank, before, after)
+		}
+	})
+}

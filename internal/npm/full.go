@@ -3,7 +3,6 @@ package npm
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 	"sync/atomic"
 
 	"kimbap/internal/comm"
@@ -59,6 +58,14 @@ type fullMap[V comparable] struct {
 	reqBits   *runtime.Bitset // global IDs requested this round
 	cacheKeys []graph.NodeID  // sorted requested remote IDs
 	cacheVals []V
+	// cacheSlot is the dense global→cache translation table (DESIGN.md
+	// §14): cacheSlot[g] = index into cacheVals + 1, 0 for uncached. It
+	// replaces the per-Read binary search over cacheKeys with one array
+	// index. Allocated lazily on the first non-empty cache (request-free
+	// algorithms never pay for it) and retained across rounds — the
+	// ReduceSync cache drop zeroes only the previously cached keys'
+	// slots, O(cache) not O(n).
+	cacheSlot []int32
 
 	tl       []*bucketedMap[V] // per-thread reduce maps, bucketed by combine range
 	combined []*localMap[V]    // per-thread combine outputs (reused)
@@ -202,12 +209,13 @@ func (m *fullMap[V]) Read(n graph.NodeID) V {
 			return m.mirrors[int(local)-m.hp.NumMasters]
 		}
 	}
-	i := sort.Search(len(m.cacheKeys), func(i int) bool { return m.cacheKeys[i] >= n })
-	if i < len(m.cacheKeys) && m.cacheKeys[i] == n {
-		if m.trackReads {
-			m.readRemote.Add(1)
+	if m.cacheSlot != nil {
+		if s := m.cacheSlot[n]; s != 0 {
+			if m.trackReads {
+				m.readRemote.Add(1)
+			}
+			return m.cacheVals[s-1]
 		}
-		return m.cacheVals[i]
 	}
 	panic(fmt.Sprintf("npm: host %d read of unmaterialized node %d (missing Request?)",
 		m.h.Rank, n))
@@ -324,8 +332,11 @@ func (m *fullMap[V]) RequestSync() {
 }
 
 // mergeCache merges sorted (keys, vals) into the sorted remote cache,
-// preferring the new values on duplicate keys.
+// preferring the new values on duplicate keys, then refreshes the dense
+// slot table. The merged key set is a superset of the old one, so
+// rewriting every merged key's slot also overwrites all stale slots.
 func (m *fullMap[V]) mergeCache(keys []graph.NodeID, vals []V) {
+	defer m.rebuildCacheSlots()
 	if len(m.cacheKeys) == 0 {
 		m.cacheKeys, m.cacheVals = keys, vals
 		return
@@ -358,6 +369,22 @@ func (m *fullMap[V]) mergeCache(keys []graph.NodeID, vals []V) {
 	mk = append(mk, keys[j:]...)
 	mv = append(mv, vals[j:]...)
 	m.cacheKeys, m.cacheVals = mk, mv
+}
+
+// rebuildCacheSlots points the dense slot table at the current cache
+// arrays. Runs once per RequestSync, after which every Read and async
+// Load is a single index — the sort.Search this table replaced was on
+// the per-access hot path.
+func (m *fullMap[V]) rebuildCacheSlots() {
+	if len(m.cacheKeys) == 0 {
+		return
+	}
+	if m.cacheSlot == nil {
+		m.cacheSlot = make([]int32, m.hp.NumGlobalNodes())
+	}
+	for i, k := range m.cacheKeys {
+		m.cacheSlot[k] = int32(i) + 1
+	}
 }
 
 // ReduceSync implements Map (§4.1 reduce-sync phase with the Figure 7
@@ -490,7 +517,14 @@ func (m *fullMap[V]) ReduceSync() {
 			}
 		})
 
-		// Cached remote properties are now stale (§4.1): drop them.
+		// Cached remote properties are now stale (§4.1): drop them. The
+		// slot table is cleared key by key — O(cache entries), and the
+		// allocation survives for the next round's rebuild.
+		if m.cacheSlot != nil {
+			for _, k := range m.cacheKeys {
+				m.cacheSlot[k] = 0
+			}
+		}
 		m.cacheKeys = nil
 		m.cacheVals = nil
 	})

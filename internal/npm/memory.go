@@ -46,8 +46,13 @@ func (m *fullMap[V]) MemoryFootprint() int64 {
 	total := int64(len(m.masters)) * int64(vs)     // master vector
 	total += int64(len(m.mirrors)) * int64(vs)     // pinned mirrors
 	total += int64(len(m.cacheKeys)) * int64(4+vs) // remote cache
+	total += int64(len(m.cacheSlot)) * 4           // dense cache slot table (§14)
 	total += int64(m.hp.NumGlobalNodes()+7) / 8    // request bitset
 	total += int64(len(m.masters)+7) / 8           // dirty bitset
+	// Partition-side ID translation: the host's dense global→local table
+	// plus (on host 0) the shared reorder permutation arrays. Charged to
+	// the Full variant, which is the one whose hot paths index them.
+	total += m.hp.TranslationFootprint()
 	for _, t := range m.tl {
 		total += t.footprint(vs)
 	}

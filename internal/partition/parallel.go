@@ -32,13 +32,34 @@ import (
 // all cores. Output is bit-identical to PartitionSerial.
 //kimbap:deterministic
 func Partition(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
-	return PartitionWorkers(g, numHosts, policy, 0)
+	return partitionWorkers(g, numHosts, policy, 0, nil)
 }
 
 // PartitionWorkers is Partition with an explicit worker count (0 = all
 // cores). Output is identical at every worker count.
 //kimbap:deterministic
 func PartitionWorkers(g *graph.Graph, numHosts int, policy Policy, workers int) *Partitioned {
+	return partitionWorkers(g, numHosts, policy, workers, nil)
+}
+
+// PartitionReordered partitions a reordered graph: g must already be the
+// permuted CSR and ro its permutation (see graph.Reorder). The partition
+// carries ro so the NPM and algorithm layers can translate between ID
+// spaces; blocked-degree boundaries matching the host count are adopted
+// verbatim, preserving the original partition assignment.
+//kimbap:deterministic
+func PartitionReordered(g *graph.Graph, numHosts int, policy Policy, ro *graph.Reordering) *Partitioned {
+	return partitionWorkers(g, numHosts, policy, 0, ro)
+}
+
+// PartitionReorderedWorkers is PartitionReordered with an explicit worker
+// count (0 = all cores). Output is identical at every worker count.
+//kimbap:deterministic
+func PartitionReorderedWorkers(g *graph.Graph, numHosts int, policy Policy, workers int, ro *graph.Reordering) *Partitioned {
+	return partitionWorkers(g, numHosts, policy, workers, ro)
+}
+
+func partitionWorkers(g *graph.Graph, numHosts int, policy Policy, workers int, ro *graph.Reordering) *Partitioned {
 	if numHosts < 1 {
 		panic("partition: numHosts must be >= 1")
 	}
@@ -52,7 +73,8 @@ func PartitionWorkers(g *graph.Graph, numHosts int, policy Policy, workers int) 
 		NumHosts:   numHosts,
 		NumNodes:   numNodes,
 		Policy:     policy,
-		boundaries: degreeBalancedBoundaries(g, numHosts),
+		Reordering: ro,
+		boundaries: partitionBoundaries(g, numHosts, ro),
 	}
 	p.buildOwnerTab()
 	assign := p.edgeAssigner(policy, numHosts)
@@ -214,6 +236,7 @@ func buildHostFromColumns(p *Partitioned, h int,
 		hp.GlobalIDs = append(hp.GlobalIDs, v)
 	}
 	hp.GlobalIDs = append(hp.GlobalIDs, mirList...)
+	hp.buildLocalTab()
 
 	for i := range srcs {
 		ls, ok1 := hp.LocalID(srcs[i])

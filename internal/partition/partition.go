@@ -41,10 +41,16 @@ var Policies = []Policy{OEC, IEC, CVC}
 
 // Partitioned is the result of partitioning a graph across hosts.
 type Partitioned struct {
-	NumHosts   int
-	NumNodes   int // global node count
-	Policy     Policy
-	Hosts      []*HostPartition
+	NumHosts int
+	NumNodes int // global node count
+	Policy   Policy
+	Hosts    []*HostPartition
+	// Reordering records the vertex permutation the graph was ingested
+	// under (DESIGN.md §14), nil when partitioning an original-order
+	// graph. All partition-level IDs — boundaries, GlobalIDs, edges — are
+	// in the reordered ("current") space; OriginalID/CurrentID translate
+	// at the algorithm boundaries.
+	Reordering *graph.Reordering
 	boundaries []graph.NodeID // len NumHosts+1; owner(v) = range containing v
 	// ownerTab[v>>ownerBlockShift] = owner of that block's first node.
 	// Owner starts there and walks at most the boundaries that fall inside
@@ -80,8 +86,14 @@ type HostPartition struct {
 	MirrorsHaveNoOutEdges bool
 	MirrorsHaveNoInEdges  bool
 
-	mirrorGlobals []graph.NodeID // GlobalIDs[NumMasters:], kept for search
-	part          *Partitioned
+	mirrorGlobals []graph.NodeID // GlobalIDs[NumMasters:], kept for accounting
+	// localTab is the dense global→local translation table: localTab[g] =
+	// local+1, 0 for absent. It replaces the old per-lookup binary search
+	// over mirrorGlobals with one array index — LocalID sits on the NPM
+	// hot paths (async node-slot resolution, payload addressing), where a
+	// search per access is measurable. One int32 per global node per host.
+	localTab []int32
+	part     *Partitioned
 }
 
 // PartitionSerial is the retained single-threaded reference for Partition.
@@ -89,6 +101,19 @@ type HostPartition struct {
 // CSR, MirrorsByOwner, MasterSendTo — bit for bit against the parallel
 // pipeline at every worker count.
 func PartitionSerial(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
+	return partitionSerial(g, numHosts, policy, nil)
+}
+
+// PartitionReorderedSerial is PartitionSerial for a reordered graph: g
+// must already be the permuted CSR, and ro its permutation. When ro
+// carries blocked-degree boundaries for numHosts blocks they are adopted
+// verbatim (preserving the original partition assignment); otherwise the
+// boundaries are recomputed on the permuted graph.
+func PartitionReorderedSerial(g *graph.Graph, numHosts int, policy Policy, ro *graph.Reordering) *Partitioned {
+	return partitionSerial(g, numHosts, policy, ro)
+}
+
+func partitionSerial(g *graph.Graph, numHosts int, policy Policy, ro *graph.Reordering) *Partitioned {
 	if numHosts < 1 {
 		panic("partition: numHosts must be >= 1")
 	}
@@ -96,7 +121,8 @@ func PartitionSerial(g *graph.Graph, numHosts int, policy Policy) *Partitioned {
 		NumHosts:   numHosts,
 		NumNodes:   g.NumNodes(),
 		Policy:     policy,
-		boundaries: degreeBalancedBoundaries(g, numHosts),
+		Reordering: ro,
+		boundaries: partitionBoundaries(g, numHosts, ro),
 	}
 	p.buildOwnerTab()
 	assign := p.edgeAssigner(policy, numHosts)
@@ -215,25 +241,23 @@ func (p *Partitioned) MasterRange(h int) (lo, hi graph.NodeID) {
 	return p.boundaries[h], p.boundaries[h+1]
 }
 
+// degreeBalancedBoundaries delegates to graph.BlockBoundaries — the same
+// walk the blocked-degree reorder uses for its blocks, which is what lets
+// PartitionReordered adopt a reordering's boundaries verbatim.
 func degreeBalancedBoundaries(g *graph.Graph, numHosts int) []graph.NodeID {
-	n := g.NumNodes()
-	total := g.NumEdges() + int64(n) // +1 per node so empty nodes also spread
-	bounds := make([]graph.NodeID, numHosts+1)
-	bounds[numHosts] = graph.NodeID(n)
-	target := total / int64(numHosts)
-	h := 1
-	var acc int64
-	for v := 0; v < n && h < numHosts; v++ {
-		acc += int64(g.Degree(graph.NodeID(v))) + 1
-		if acc >= target*int64(h) {
-			bounds[h] = graph.NodeID(v + 1)
-			h++
-		}
+	return graph.BlockBoundaries(g, numHosts)
+}
+
+// partitionBoundaries picks the master-range boundaries: a blocked-degree
+// reordering's block bounds when they match the host count (each block
+// maps onto itself under the permutation, so the original assignment is
+// preserved exactly), else freshly degree-balanced on g — for the
+// whole-graph degree policy the hubs moved, so the balance point did too.
+func partitionBoundaries(g *graph.Graph, numHosts int, ro *graph.Reordering) []graph.NodeID {
+	if ro != nil && len(ro.Boundaries) == numHosts+1 {
+		return ro.Boundaries
 	}
-	for ; h < numHosts; h++ {
-		bounds[h] = graph.NodeID(n)
-	}
-	return bounds
+	return degreeBalancedBoundaries(g, numHosts)
 }
 
 // edgeAssigner returns the function mapping an edge to its host.
@@ -289,6 +313,7 @@ func buildHostPartition(p *Partitioned, g *graph.Graph, h int,
 		hp.GlobalIDs = append(hp.GlobalIDs, v)
 	}
 	hp.GlobalIDs = append(hp.GlobalIDs, mirrors...)
+	hp.buildLocalTab()
 
 	b := graph.NewBuilder(len(hp.GlobalIDs))
 	weighted := g.Weighted()
@@ -332,20 +357,54 @@ func (hp *HostPartition) detectInvariants() {
 	}
 }
 
-// LocalID translates a global node ID to this host's local ID. Masters map
-// by offset; mirrors by binary search over the sorted mirror list.
-func (hp *HostPartition) LocalID(global graph.NodeID) (graph.NodeID, bool) {
-	lo, hi := hp.part.MasterRange(hp.Host)
-	if global >= lo && global < hi {
-		return global - lo, true
+// buildLocalTab fills the dense global→local table from GlobalIDs. Called
+// once at partition time, right after GlobalIDs is assembled (the edge
+// translation loops already go through LocalID).
+func (hp *HostPartition) buildLocalTab() {
+	tab := make([]int32, hp.part.NumNodes)
+	for l, g := range hp.GlobalIDs {
+		tab[g] = int32(l) + 1
 	}
-	i := sort.Search(len(hp.mirrorGlobals), func(i int) bool {
-		return hp.mirrorGlobals[i] >= global
-	})
-	if i < len(hp.mirrorGlobals) && hp.mirrorGlobals[i] == global {
-		return graph.NodeID(hp.NumMasters + i), true
+	hp.localTab = tab
+}
+
+// LocalID translates a global node ID to this host's local ID: one dense
+// table index, O(1) for masters and mirrors alike (the old path binary-
+// searched the sorted mirror list on every miss of the master range).
+func (hp *HostPartition) LocalID(global graph.NodeID) (graph.NodeID, bool) {
+	if int(global) < len(hp.localTab) {
+		if s := hp.localTab[global]; s != 0 {
+			return graph.NodeID(s - 1), true
+		}
 	}
 	return graph.InvalidNode, false
+}
+
+// OriginalID maps a global (reordered-space) node ID back to the original
+// ID space. Identity when the graph was not reordered.
+func (hp *HostPartition) OriginalID(global graph.NodeID) graph.NodeID {
+	return hp.part.Reordering.OriginalID(global)
+}
+
+// CurrentID maps an original node ID into the global (reordered) space —
+// the translation for property *values* that are used as addresses.
+// Identity when the graph was not reordered.
+func (hp *HostPartition) CurrentID(orig graph.NodeID) graph.NodeID {
+	return hp.part.Reordering.CurrentID(orig)
+}
+
+// TranslationFootprint returns the bytes this host holds for ID
+// translation: the dense local table plus its share of the partition-wide
+// permutation arrays (counted once, on host 0, since Perm/Inv are shared
+// across hosts). The NPM memory reporter folds this into the per-host
+// footprint so the §14 tables stay visible in the accounting.
+func (hp *HostPartition) TranslationFootprint() int64 {
+	b := int64(len(hp.localTab)) * 4
+	if hp.Host == 0 && hp.part.Reordering != nil {
+		ro := hp.part.Reordering
+		b += int64(len(ro.Perm))*4 + int64(len(ro.Inv))*4 + int64(len(ro.Boundaries))*4
+	}
+	return b
 }
 
 // GlobalID translates a local node ID back to the global ID.

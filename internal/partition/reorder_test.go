@@ -1,0 +1,93 @@
+package partition
+
+import (
+	"testing"
+
+	"kimbap/internal/graph"
+)
+
+// Blocked-degree reordering must preserve the partition assignment
+// exactly: the reorder's block boundaries come from the same
+// degree-balanced walk the partitioner uses, every node stays inside its
+// block, and PartitionReordered adopts the recorded boundaries — so each
+// host's master set, expressed in original IDs, is identical to
+// partitioning the unreordered graph.
+func TestBlockedDegreeReorderPreservesMasters(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		for _, hosts := range []int{2, 4, 8} {
+			for _, pol := range Policies {
+				base := Partition(g, hosts, pol)
+				rg, ro, err := graph.Reorder(g, graph.ReorderOptions{
+					Policy: graph.ReorderBlockedDegree, Blocks: hosts,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := PartitionReordered(rg, hosts, pol, ro)
+				checkInvariants(t, rg, p)
+				if p.Reordering != ro {
+					t.Fatalf("%s/%dh/%s: partition did not carry the reordering", gname, hosts, pol)
+				}
+				for h := 0; h < hosts; h++ {
+					blo, bhi := base.MasterRange(h)
+					want := map[graph.NodeID]bool{}
+					for v := blo; v < bhi; v++ {
+						want[v] = true
+					}
+					rlo, rhi := p.MasterRange(h)
+					if int(rhi-rlo) != len(want) {
+						t.Fatalf("%s/%dh/%s: host %d has %d masters, want %d",
+							gname, hosts, pol, h, rhi-rlo, len(want))
+					}
+					for v := rlo; v < rhi; v++ {
+						if !want[ro.OriginalID(v)] {
+							t.Fatalf("%s/%dh/%s: host %d gained master %d (orig %d)",
+								gname, hosts, pol, h, v, ro.OriginalID(v))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The dense translation table must answer exactly like the membership it
+// was built from, including out-of-range probes, and the ID translation
+// helpers must be identities without a reordering.
+func TestLocalIDTableAndTranslation(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	rg, ro, err := graph.Reorder(g, graph.ReorderOptions{Policy: graph.ReorderDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PartitionReordered(rg, 4, CVC, ro)
+	for _, hp := range p.Hosts {
+		seen := map[graph.NodeID]graph.NodeID{}
+		for l, gid := range hp.GlobalIDs {
+			seen[gid] = graph.NodeID(l)
+		}
+		for v := 0; v < rg.NumNodes(); v++ {
+			l, ok := hp.LocalID(graph.NodeID(v))
+			wantL, wantOK := seen[graph.NodeID(v)]
+			if ok != wantOK || (ok && l != wantL) {
+				t.Fatalf("host %d: LocalID(%d) = (%d,%v), want (%d,%v)",
+					hp.Host, v, l, ok, wantL, wantOK)
+			}
+			if hp.CurrentID(hp.OriginalID(graph.NodeID(v))) != graph.NodeID(v) {
+				t.Fatalf("host %d: translation round-trip failed at %d", hp.Host, v)
+			}
+		}
+		if _, ok := hp.LocalID(graph.NodeID(rg.NumNodes() + 3)); ok {
+			t.Fatalf("host %d: out-of-range global reported local", hp.Host)
+		}
+		if hp.TranslationFootprint() <= 0 {
+			t.Fatalf("host %d: translation footprint not accounted", hp.Host)
+		}
+	}
+	// Without a reordering the helpers are identities.
+	plain := Partition(g, 2, CVC)
+	hp := plain.Hosts[0]
+	if hp.OriginalID(5) != 5 || hp.CurrentID(9) != 9 {
+		t.Fatal("identity translation broken on unreordered partition")
+	}
+}
