@@ -22,16 +22,16 @@ lint:
 # race covers the concurrency-heavy packages: the property maps (CAS
 # handle included), the runtime's worker pool, bitsets, and async drain
 # scheduler, the transports, the parallel ingestion pipeline (par pool,
-# Chase-Lev deques, counting-sort build, partitioner, generators), and
-# the kvstore application harness. The algorithms package is too slow to
-# race-test wholesale, so the second line runs just the execution-mode
-# equivalence matrix — the tests that hammer the async scheduler's
-# stealing and CAS paths across host and thread counts.
+# Chase-Lev deques, counting-sort build, partitioner, generators), the
+# kvstore application harness, and the full algorithms package — its
+# equivalence matrices hammer the async scheduler's stealing/CAS paths
+# and the pull rounds' plain-store master scans across host and thread
+# counts, which is exactly where a direction bug would race.
 race:
 	$(GO) test -race ./internal/npm/... ./internal/runtime/... ./internal/comm/... \
 		./internal/par/... ./internal/graph/... ./internal/partition/... ./internal/gen/... \
 		./internal/kvstore/...
-	$(GO) test -race -run 'Mode' ./internal/algorithms
+	$(GO) test -race ./internal/algorithms
 
 ci: build test lint race
 

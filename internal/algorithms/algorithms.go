@@ -54,6 +54,16 @@ type Config struct {
 	// (no frontier, non-Full variant, non-idempotent operator) — final
 	// outputs are bit-identical in every mode.
 	Mode Mode
+	// Direction selects the traversal direction for the dense-capable
+	// rounds of CC-SV, CC-LP, and MIS (see direction.go). The zero value
+	// and DirPush run the classic scatter-reduce rounds; DirPull runs
+	// every capable round bottom-up over the in-edge CSR with a
+	// broadcast-only round end; DirAdaptive chooses per round from
+	// globally-reduced frontier telemetry. Non-push directions silently
+	// fall back to push when the phase cannot pull (non-pull-complete
+	// partition, non-Full variant) and force Mode to BSP — outputs are
+	// bit-identical in every direction.
+	Direction Direction
 }
 
 // Mode names an intra-host execution engine (see Config.Mode).
@@ -119,6 +129,11 @@ type RoundStats struct {
 	// Mode is the execution mode each round actually ran in ("bsp" or
 	// "async") — the policy trace under ExecAdaptive.
 	Mode []string
+	// Dir is the traversal direction each round actually ran in ("push"
+	// or "pull") — the policy trace under DirAdaptive. A pull round's
+	// ReduceBytes entry is always zero: the round has no reduce
+	// collective at all.
+	Dir []string
 }
 
 // roundLogger appends one RoundStats entry per record call, charging each
@@ -141,7 +156,7 @@ func reduceBytesSent(h *runtime.Host) int64 {
 	return b[comm.TagReduce]
 }
 
-func (r *roundLogger) record(active int, hook bool, mode runtime.ExecMode) {
+func (r *roundLogger) record(active int, hook bool, mode runtime.ExecMode, dir runtime.Direction) {
 	if r == nil {
 		return
 	}
@@ -150,6 +165,7 @@ func (r *roundLogger) record(active int, hook bool, mode runtime.ExecMode) {
 	r.out.ReduceBytes = append(r.out.ReduceBytes, now-r.prev)
 	r.out.Hook = append(r.out.Hook, hook)
 	r.out.Mode = append(r.out.Mode, mode.String())
+	r.out.Dir = append(r.out.Dir, dir.String())
 	r.prev = now
 }
 

@@ -40,7 +40,18 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	var stats CCStats
 	fr := cfg.newFrontier(h, parent)
 	rl := cfg.roundLogger(h, &stats.PerRound)
+	// CC-SV's pull hook is a reformulation (LP-style one-hop fold, not a
+	// transpose of the pointer-jumping hook), so adaptive pull runs under
+	// the bounded trial.
+	de := cfg.newDirEngine(h, parent, true)
 	eng := cfg.newEngine(h, fr, parent)
+	if de != nil {
+		// Direction-capable phases run BSP rounds only: a pull round's
+		// collective sequence is fixed globally, and the async drain's
+		// in-place mirror CAS would break the mirror freshness pull
+		// rounds depend on (see direction.go).
+		eng = nil
+	}
 	// acc accumulates every proxy the shortcut phase changes, so the next
 	// outer round's hook phase can start from the changed set instead of a
 	// full re-activation (the first hook phase has no prior change record
@@ -53,7 +64,7 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	for {
 		stats.OuterRounds++
 		workDone.Set(false)
-		stats.HookRounds += ccHook(h, cfg, parent, &workDone, fr, seed, rl, eng)
+		stats.HookRounds += ccHook(h, cfg, parent, &workDone, fr, seed, rl, eng, de)
 		stats.ShortcutRounds += ccShortcut(h, cfg, parent, fr, acc, rl, eng)
 		seed = acc
 		workDone.Sync(h.EP)
@@ -93,9 +104,21 @@ func CCSV(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 // while the per-round collective sequence (ReduceSync, BroadcastSync,
 // IsUpdated) is identical in both modes, so hosts running different modes
 // still meet at the same syncs.
+//
+// Under a direction engine, a dense round may run bottom-up instead
+// (pullMinRound): the SV hook's reduce target parent(src) is an arbitrary
+// node and cannot be pulled, so pull rounds use the label-propagation
+// formulation — each master min-folds its in-neighbors' labels into
+// itself. Both formulations monotonically lower labels toward the same
+// unique min-ID fixpoint (generators symmetrize, so in-neighbors cover
+// every incident edge), and the interleaved shortcut phases collapse the
+// parent chains either way: converged labels are bit-identical, though
+// round counts may differ. A pull round skips ReduceSync entirely and
+// the direction choice is global (see direction.go), so hosts still
+// agree on every round's collective sequence.
 func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 	workDone *runtime.BoolReducer, fr *runtime.Frontier, seed *runtime.Bitset,
-	rl *roundLogger, eng *engine) int {
+	rl *roundLogger, eng *engine, de *dirEngine) int {
 
 	// Reset before pinning: PinMirrors refreshes mirrors from masters and
 	// activates every mirror whose value changed since the last unpin, and
@@ -130,11 +153,20 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 		if fr != nil {
 			mode = eng.roundMode(fr.Count())
 		}
-		if mode == runtime.ModeAsync {
+		dir := de.roundDirection(fr)
+		switch {
+		case dir == runtime.DirPull:
+			// Bottom-up: dense master scan over the in-edge CSR, plain
+			// stores into own slots, no reduce collective this round.
+			h.TimeCompute(func() {
+				pullMinRound(h, de.ph, workDone)
+			})
+		case mode == runtime.ModeAsync:
 			h.TimeCompute(func() {
 				drain = ccHookDrain(h, eng, workDone, fr)
 			})
-		} else {
+			parent.ReduceSync()
+		default:
 			body := func(tid int, src graph.NodeID) {
 				srcParent := parent.Read(h.HP.GlobalID(src))
 				lo, hi := local.EdgeRange(src)
@@ -160,8 +192,10 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 					h.ParForNodes(body)
 				}
 			})
+			parent.ReduceSync()
 		}
-		parent.ReduceSync()
+		// A pull round never staged a reduce — each push arm synced its own
+		// above — so every direction ends the round with the broadcast.
 		parent.BroadcastSync()
 		active := h.HP.NumLocal()
 		if fr != nil {
@@ -169,7 +203,7 @@ func ccHook(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 			eng.observe(mode, active, fr.Size(), drain)
 			fr.Advance()
 		}
-		rl.record(active, true, mode)
+		rl.record(active, true, mode, dir)
 		if !parent.IsUpdated() || rounds >= cfg.maxRounds() {
 			break
 		}
@@ -323,7 +357,7 @@ func ccShortcut(h *runtime.Host, cfg Config, parent npm.Map[graph.NodeID],
 				fr.OrCurrentInto(acc)
 			}
 		}
-		rl.record(active, false, mode)
+		rl.record(active, false, mode, runtime.DirPush)
 		if !parent.IsUpdated() || rounds >= cfg.maxRounds() {
 			break
 		}
@@ -430,7 +464,11 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 	var stats CCStats
 	fr := cfg.newFrontier(h, comp)
 	rl := cfg.roundLogger(h, &stats.PerRound)
+	de := cfg.newDirEngine(h, comp, false)
 	eng := cfg.newEngine(h, fr, comp)
+	if de != nil {
+		eng = nil // direction-capable phases run BSP rounds (see CCSV)
+	}
 	comp.PinMirrors()
 	if fr != nil {
 		fr.ActivateAll()
@@ -448,7 +486,18 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 		if fr != nil {
 			mode = eng.roundMode(fr.Count())
 		}
-		if mode == runtime.ModeAsync {
+		dir := de.roundDirection(fr)
+		switch {
+		case dir == runtime.DirPull:
+			// Bottom-up label propagation: each master min-folds its
+			// in-neighbors' round-start labels (the exact transpose of the
+			// push body on these symmetrized graphs), with no reduce
+			// collective — per-round label states, and therefore round
+			// counts, are identical to push.
+			h.TimeCompute(func() {
+				pullMinRound(h, de.ph, nil)
+			})
+		case mode == runtime.ModeAsync:
 			// Every push target is a local proxy (mirrors are pinned), so
 			// the whole label cascade applies in place: a drain runs each
 			// host's labels to their local fixpoint in one round.
@@ -468,7 +517,8 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 					}
 				})
 			})
-		} else {
+			comp.ReduceSync()
+		default:
 			body := func(tid int, src graph.NodeID) {
 				label := comp.Read(h.HP.GlobalID(src))
 				lo, hi := local.EdgeRange(src)
@@ -486,8 +536,10 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 					h.ParForNodes(body)
 				}
 			})
+			comp.ReduceSync()
 		}
-		comp.ReduceSync()
+		// A pull round never staged a reduce — each push arm synced its own
+		// above — so every direction ends the round with the broadcast.
 		comp.BroadcastSync()
 		active := h.HP.NumLocal()
 		if fr != nil {
@@ -495,7 +547,7 @@ func CCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 			eng.observe(mode, active, fr.Size(), drain)
 			fr.Advance()
 		}
-		rl.record(active, true, mode)
+		rl.record(active, true, mode, dir)
 		if !comp.IsUpdated() || stats.HookRounds >= cfg.maxRounds() {
 			break
 		}
@@ -552,7 +604,7 @@ func CCSCLP(h *runtime.Host, cfg Config, out []graph.NodeID) CCStats {
 		}
 		comp.UnpinMirrors()
 		stats.HookRounds++
-		rl.record(h.HP.NumLocal(), true, runtime.ModeBSP)
+		rl.record(h.HP.NumLocal(), true, runtime.ModeBSP, runtime.DirPush)
 
 		// Shortcut to collapse label chains.
 		stats.ShortcutRounds += ccShortcut(h, cfg, comp, fr, nil, rl, eng)

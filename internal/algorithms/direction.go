@@ -1,0 +1,211 @@
+package algorithms
+
+import (
+	"kimbap/internal/graph"
+	"kimbap/internal/npm"
+	"kimbap/internal/runtime"
+)
+
+// Direction-optimizing execution (Beamer-style push/pull): dense rounds of
+// the label-fixpoint algorithms can run "bottom-up" — every master scans
+// its in-neighbors over the transpose CSR and folds their values into its
+// own slot with plain stores — instead of scattering reduces along
+// out-edges. A pull round produces no reduce payload at all: masters are
+// updated in place and the round ends with the broadcast only.
+//
+// Legality is checked once per phase, not per round:
+//
+//   - The partition must be pull-complete (every in-edge of every master
+//     stored at that master's owner — IEC, or any single-host run). This
+//     is structural, so all hosts agree without a collective; on OEC/CVC
+//     multi-host partitions the engine is nil and everything stays push.
+//   - The map variant must support pull (npm.Pull: Full only). Variant is
+//     SPMD-identical configuration, so again all hosts agree.
+//
+// Unlike the intra-round mode choice (async.go), direction is a GLOBAL
+// per-round decision: a pull round issues a different collective sequence
+// (no ReduceSync), so the adaptive rule runs on allreduced telemetry —
+// active master count and the active masters' summed in-degree — and
+// every host computes the same answer in lockstep. For the same reason a
+// direction-capable phase forces the intra-round mode to BSP: the async
+// drain CAS-writes pinned mirrors in place, which would break the mirror
+// freshness a later pull round depends on, and its host-local divergence
+// is only safe when the collective sequence is fixed.
+
+// Direction selects the traversal direction for the dense-capable rounds
+// of CC-SV, CC-LP, and MIS (see Config.Direction).
+type Direction string
+
+const (
+	// DirPush is the classic scatter-reduce execution (the default).
+	DirPush Direction = "push"
+	// DirPull forces every direction-capable round to pull.
+	DirPull Direction = "pull"
+	// DirAdaptive chooses per round from globally-reduced frontier
+	// telemetry (runtime.Adaptive.NextDirection).
+	DirAdaptive Direction = "adaptive"
+)
+
+// dirEngine is the per-phase direction controller. A nil *dirEngine means
+// every round pushes; all call sites tolerate nil.
+type dirEngine struct {
+	h  *runtime.Host
+	ph *npm.PullHandle[graph.NodeID]
+	ad *runtime.Adaptive // nil for static DirPull
+
+	totalMasters int64 // allreduced once at construction
+	totalEdges   int64
+
+	// reformulated marks a pull hook that is a convergence-changing
+	// reformulation of the push hook rather than an exact transpose:
+	// CC-SV's pull fold propagates labels one hop per round (LP-style)
+	// where its push hook jumps through parent pointers, so pull rounds
+	// are cheaper but retire less work. The density telemetry cannot see
+	// that difference — on a high-diameter graph the frontier stays dense
+	// for ~diameter rounds under pull — so under DirAdaptive a
+	// reformulated hook gets a bounded trial (pullTrialRounds consecutive
+	// pull rounds) before the engine reverts to push for the rest of the
+	// run. Low-diameter phases finish inside the trial; high-diameter
+	// ones cap their regret at the trial length instead of paying
+	// diameter rounds. Static DirPull is exempt: a forced direction is
+	// the caller's choice. The state is driven purely by the (globally
+	// agreed) direction sequence, so all hosts stay in lockstep.
+	reformulated bool
+	pullStreak   int
+	pullDone     bool
+}
+
+// pullTrialRounds bounds consecutive adaptive pull rounds for
+// reformulated hooks. The perf R-MAT's hook phase completes in ~5 pull
+// rounds, well inside the budget; a 192x192 grid would otherwise take
+// ~384.
+const pullTrialRounds = 8
+
+// newDirEngine builds the direction controller for a phase over map m, or
+// nil when every round must push: direction is unset/push, the partition
+// is not pull-complete, or the variant lacks pull support. reformulated
+// marks a pull hook that changes per-round convergence (see the field
+// doc). Construction is collective under pull (it allreduces the totals
+// the adaptive rule needs), which is safe because every nil-condition is
+// SPMD-identical across hosts.
+func (c Config) newDirEngine(h *runtime.Host, m npm.Map[graph.NodeID], reformulated bool) *dirEngine {
+	if c.Direction == "" || c.Direction == DirPush {
+		return nil
+	}
+	if !h.HP.PullEdgesComplete() {
+		return nil
+	}
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return nil
+	}
+	h.HP.EnsureLocalInCSR(h.Threads)
+	d := &dirEngine{h: h, ph: ph, reformulated: reformulated}
+	var masters, edges runtime.CountReducer
+	masters.Set(int64(h.HP.NumMasters))
+	masters.Sync(h.EP)
+	// Pull-complete partitions store every edge exactly once, at its
+	// destination's owner, so the local edge counts sum to |E|.
+	edges.Set(h.HP.Local.NumEdges())
+	edges.Sync(h.EP)
+	d.totalMasters = masters.Read()
+	d.totalEdges = edges.Read()
+	if c.Direction == DirAdaptive {
+		d.ad = runtime.NewAdaptive(h)
+	}
+	return d
+}
+
+// roundDirection decides the coming round's direction from the frontier
+// entering it. Collective under DirAdaptive (two allreduces); static
+// engines — and dense adaptive rounds, whose telemetry is degenerate —
+// answer locally. A nil engine always pushes.
+func (d *dirEngine) roundDirection(fr *runtime.Frontier) runtime.Direction {
+	if d == nil {
+		return runtime.DirPush
+	}
+	if d.ad == nil {
+		return runtime.DirPull
+	}
+	if fr == nil {
+		// Dense execution visits every master every round: density is 1.0
+		// by construction, so feed the rule the totals without a collective
+		// (the same deterministic inputs on every host).
+		return d.trial(d.ad.NextDirection(d.totalMasters, d.totalMasters, d.totalEdges, d.totalEdges))
+	}
+	var act, inEdges int64
+	lg := d.h.HP.Local
+	for i := 0; i < d.h.HP.NumMasters; i++ {
+		if fr.IsActive(i) {
+			act++
+			inEdges += int64(lg.InDegree(graph.NodeID(i)))
+		}
+	}
+	var gAct, gIn runtime.CountReducer
+	gAct.Set(act)
+	gAct.Sync(d.h.EP)
+	gIn.Set(inEdges)
+	gIn.Sync(d.h.EP)
+	return d.trial(d.ad.NextDirection(gAct.Read(), d.totalMasters, gIn.Read(), d.totalEdges))
+}
+
+// trial applies the bounded pull trial for reformulated hooks under
+// DirAdaptive (see the reformulated field doc); everywhere else it is the
+// identity.
+func (d *dirEngine) trial(dir runtime.Direction) runtime.Direction {
+	if d.ad == nil || !d.reformulated {
+		return dir
+	}
+	if d.pullDone {
+		return runtime.DirPush
+	}
+	if dir != runtime.DirPull {
+		d.pullStreak = 0
+		return dir
+	}
+	d.pullStreak++
+	if d.pullStreak > pullTrialRounds {
+		d.pullDone = true
+		return runtime.DirPush
+	}
+	return dir
+}
+
+// directionFromGlobalActive decides a round's direction from an
+// already-allreduced active-master count (MIS reuses its `remaining`
+// reducer rather than adding a collective). The active in-edge volume is
+// estimated as active * average in-degree — exact enough for the density
+// trigger, and a deterministic function of global inputs.
+func (d *dirEngine) directionFromGlobalActive(activeMasters int64) runtime.Direction {
+	if d == nil {
+		return runtime.DirPush
+	}
+	if d.ad == nil {
+		return runtime.DirPull
+	}
+	est := int64(0)
+	if d.totalMasters > 0 {
+		est = activeMasters * (d.totalEdges / d.totalMasters)
+	}
+	return d.trial(d.ad.NextDirection(activeMasters, d.totalMasters, est, d.totalEdges))
+}
+
+// pullMinRound is the dense bottom-up round body shared by the CC pull
+// paths: every master folds its in-neighbors' round-start labels into its
+// own slot. The handle's snapshot gives Jacobi semantics (scan-order
+// independent); ownership makes the applies conflict free; and because no
+// value ever targets a remote master, the caller skips ReduceSync and
+// ends the round with BroadcastSync alone.
+func pullMinRound(h *runtime.Host, ph *npm.PullHandle[graph.NodeID], workDone *runtime.BoolReducer) {
+	local := h.HP.Local
+	ph.BeginPullRound()
+	h.ParForPull(func(_ int, master graph.NodeID) {
+		lo, hi := local.InEdgeRange(master)
+		for e := lo; e < hi; e++ {
+			if ph.Apply(master, ph.Value(local.InSrc(e))) && workDone != nil {
+				workDone.Reduce(true)
+			}
+		}
+	})
+	ph.EndPullRound()
+}

@@ -91,6 +91,18 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 		fr.Advance()
 	}
 
+	// Direction-optimized execution: under a pull-complete partition each
+	// of the three stages has a bottom-up form over the in-edge CSR —
+	// accumulate computes each undecided master's complete
+	// minimum-neighbor priority locally (no minNbr reduce collective at
+	// all), decide writes only the master's own slot, and knockout scans
+	// each undecided master's in-neighbors for a fresh member instead of
+	// scattering misOut. Every stage updates masters in place and ends
+	// with at most a broadcast. The per-round direction decision reuses
+	// the globally-synced `remaining` count from the previous round
+	// (every host already has it), so adaptive rounds add no collectives.
+	de := cfg.newDirEngine(h, state, false)
+
 	// Async execution: the three per-round stages become priority drains
 	// (high-degree vertices first — they knock out the most neighbors).
 	// Only the knockout stage writes state concurrently with reads, so it
@@ -99,6 +111,9 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 	// round structure and every collective stay exactly as in BSP, so the
 	// per-round decisions — and the final set — are bit-identical.
 	eng := cfg.newEngine(h, fr, state)
+	if de != nil {
+		eng = nil // direction-capable phases run BSP rounds (see CCSV)
+	}
 	var misOpts runtime.AsyncOpts
 	if eng != nil {
 		avg := 1
@@ -110,6 +125,13 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 
 	var stats MISStats
 	var remaining runtime.CountReducer
+	// Globally-synced undecided-master count driving the direction rule;
+	// every master starts undecided, so the first round's density is the
+	// full master count on every host without a collective.
+	undecided := int64(0)
+	if de != nil {
+		undecided = de.totalMasters
+	}
 	for {
 		stats.Rounds++
 		mode := runtime.ModeBSP
@@ -117,9 +139,13 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 		if fr != nil {
 			mode = eng.roundMode(fr.Count())
 		}
+		dir := de.directionFromGlobalActive(undecided)
 
 		// Per-round map: minimum priority among each node's undecided
-		// neighbors, accumulated from every edge location.
+		// neighbors, accumulated from every edge location — except in a
+		// pull round, where each undecided master computes the complete
+		// minimum from its in-edges (all present under a pull-complete
+		// partition) and the collective is skipped entirely.
 		minNbr := cfg.newFloatMap(h, npm.MinFloat64())
 		h.ParForMasters(func(_ int, n graph.NodeID) {
 			minNbr.Set(h.HP.GlobalID(n), math.Inf(1))
@@ -129,32 +155,53 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			requestLocalProxies(h, state)
 			requestLocalProxies(h, prio)
 		}
-		accBody := func(tid int, n graph.NodeID) {
-			gid := h.HP.GlobalID(n)
-			if state.Read(gid) != misUndecided {
-				return
-			}
-			lo, hi := local.EdgeRange(n)
-			for e := lo; e < hi; e++ {
-				dgid := h.HP.GlobalID(local.Dst(e))
-				if dgid != gid && state.Read(dgid) == misUndecided {
-					minNbr.Reduce(tid, gid, prio.Read(dgid))
+		if dir == runtime.DirPull {
+			phMin, _ := npm.Pull(minNbr)
+			phMin.BeginPullRound()
+			h.TimeCompute(func() {
+				h.ParForPull(func(_ int, n graph.NodeID) {
+					gid := h.HP.GlobalID(n)
+					if state.Read(gid) != misUndecided {
+						return
+					}
+					lo, hi := local.InEdgeRange(n)
+					for e := lo; e < hi; e++ {
+						sgid := h.HP.GlobalID(local.InSrc(e))
+						if sgid != gid && state.Read(sgid) == misUndecided {
+							phMin.Apply(n, prio.Read(sgid))
+						}
+					}
+				})
+			})
+			phMin.EndPullRound()
+		} else {
+			accBody := func(tid int, n graph.NodeID) {
+				gid := h.HP.GlobalID(n)
+				if state.Read(gid) != misUndecided {
+					return
+				}
+				lo, hi := local.EdgeRange(n)
+				for e := lo; e < hi; e++ {
+					dgid := h.HP.GlobalID(local.Dst(e))
+					if dgid != gid && state.Read(dgid) == misUndecided {
+						minNbr.Reduce(tid, gid, prio.Read(dgid))
+					}
 				}
 			}
+			h.TimeCompute(func() {
+				if mode == runtime.ModeAsync {
+					d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
+						accBody(tid, n)
+					})
+					drain.Accumulate(d)
+				} else if fr != nil {
+					h.ParForActive(fr, accBody)
+				} else {
+					h.ParForNodes(accBody)
+				}
+			})
+			minNbr.ReduceSync()
 		}
-		h.TimeCompute(func() {
-			if mode == runtime.ModeAsync {
-				d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
-					accBody(tid, n)
-				})
-				drain.Accumulate(d)
-			} else if fr != nil {
-				h.ParForActive(fr, accBody)
-			} else {
-				h.ParForNodes(accBody)
-			}
-		})
-		minNbr.ReduceSync()
 
 		// Decision: an undecided master with priority below all undecided
 		// neighbors joins the set.
@@ -164,46 +211,66 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			requestLocalProxies(h, prio)
 		}
 		state.ResetUpdated()
-		decBody := func(tid int, n graph.NodeID) {
-			gid := h.HP.GlobalID(n)
-			if state.Read(gid) != misUndecided {
-				return
-			}
-			if prio.Read(gid) < minNbr.Read(gid) {
-				state.Reduce(tid, gid, misIn)
-			}
-		}
-		h.TimeCompute(func() {
-			nm := h.HP.NumMasters
-			if mode == runtime.ModeAsync {
-				// Each master decides only itself, but neighboring masters
-				// decide concurrently in the same drain, so state moves
-				// through the CAS handle.
-				sh := eng.ah
-				d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
-					if int(n) >= nm {
+		if dir == runtime.DirPull {
+			// Each master decides only itself, so a pull round needs no
+			// state reduce collective at all: write the own slot through
+			// the handle and publish with the broadcast below.
+			ph := de.ph
+			ph.BeginPullRound()
+			h.TimeCompute(func() {
+				h.ParForPull(func(_ int, n graph.NodeID) {
+					if ph.Value(n) != misUndecided {
 						return
 					}
 					gid := h.HP.GlobalID(n)
-					if st, ok := sh.Load(gid); !ok || st != misUndecided {
-						return
-					}
 					if prio.Read(gid) < minNbr.Read(gid) {
-						sh.ReduceAsync(tid, gid, misIn)
+						ph.Apply(n, misIn)
 					}
 				})
-				drain.Accumulate(d)
-			} else if fr != nil {
-				h.ParForActive(fr, func(tid int, n graph.NodeID) {
-					if int(n) < nm {
-						decBody(tid, n)
-					}
-				})
-			} else {
-				h.ParForMasters(decBody)
+			})
+			ph.EndPullRound()
+		} else {
+			decBody := func(tid int, n graph.NodeID) {
+				gid := h.HP.GlobalID(n)
+				if state.Read(gid) != misUndecided {
+					return
+				}
+				if prio.Read(gid) < minNbr.Read(gid) {
+					state.Reduce(tid, gid, misIn)
+				}
 			}
-		})
-		state.ReduceSync()
+			h.TimeCompute(func() {
+				nm := h.HP.NumMasters
+				if mode == runtime.ModeAsync {
+					// Each master decides only itself, but neighboring masters
+					// decide concurrently in the same drain, so state moves
+					// through the CAS handle.
+					sh := eng.ah
+					d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
+						if int(n) >= nm {
+							return
+						}
+						gid := h.HP.GlobalID(n)
+						if st, ok := sh.Load(gid); !ok || st != misUndecided {
+							return
+						}
+						if prio.Read(gid) < minNbr.Read(gid) {
+							sh.ReduceAsync(tid, gid, misIn)
+						}
+					})
+					drain.Accumulate(d)
+				} else if fr != nil {
+					h.ParForActive(fr, func(tid int, n graph.NodeID) {
+						if int(n) < nm {
+							decBody(tid, n)
+						}
+					})
+				} else {
+					h.ParForMasters(decBody)
+				}
+			})
+			state.ReduceSync()
+		}
 		state.BroadcastSync()
 
 		// Knock-out: undecided neighbors of new members drop out. The
@@ -213,50 +280,78 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 		if cfg.requestActive() {
 			requestLocalProxies(h, state)
 		}
-		koBody := func(tid int, n graph.NodeID) {
-			gid := h.HP.GlobalID(n)
-			if state.Read(gid) != misIn {
-				return
-			}
-			lo, hi := local.EdgeRange(n)
-			for e := lo; e < hi; e++ {
-				dgid := h.HP.GlobalID(local.Dst(e))
-				if dgid != gid && state.Read(dgid) == misUndecided {
-					state.Reduce(tid, dgid, misOut)
-				}
-			}
-		}
-		h.TimeCompute(func() {
-			if mode == runtime.ModeAsync {
-				// Knockouts write neighbors' state while peers read it, so
-				// both sides go through the CAS handle. No re-enqueue:
-				// knocked-out vertices trigger no further knockouts.
-				sh := eng.ah
-				d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
-					gid := h.HP.GlobalID(n)
-					if st, ok := sh.Load(gid); !ok || st != misIn {
+		if dir == runtime.DirPull {
+			// Bottom-up knockout: an undecided master drops out when any
+			// in-neighbor just joined the set. Value reads the post-decide
+			// snapshot (masters) and the freshly broadcast mirrors, the
+			// same values the push body's round-start reads see; the write
+			// targets only the own slot, so again no reduce collective.
+			ph := de.ph
+			ph.BeginPullRound()
+			h.TimeCompute(func() {
+				h.ParForPull(func(_ int, n graph.NodeID) {
+					if ph.Value(n) != misUndecided {
 						return
 					}
-					lo, hi := local.EdgeRange(n)
+					gid := h.HP.GlobalID(n)
+					lo, hi := local.InEdgeRange(n)
 					for e := lo; e < hi; e++ {
-						dgid := h.HP.GlobalID(local.Dst(e))
-						if dgid == gid {
-							continue
-						}
-						if st, ok := sh.Load(dgid); ok && st == misUndecided {
-							sh.ReduceAsync(tid, dgid, misOut)
+						s := local.InSrc(e)
+						if h.HP.GlobalID(s) != gid && ph.Value(s) == misIn {
+							ph.Apply(n, misOut)
+							break
 						}
 					}
 				})
-				drain.Accumulate(d)
-			} else if fr != nil {
-				h.ParForActive(fr, koBody)
-			} else {
-				h.ParForNodes(koBody)
+			})
+			ph.EndPullRound()
+			state.BroadcastSync()
+		} else {
+			koBody := func(tid int, n graph.NodeID) {
+				gid := h.HP.GlobalID(n)
+				if state.Read(gid) != misIn {
+					return
+				}
+				lo, hi := local.EdgeRange(n)
+				for e := lo; e < hi; e++ {
+					dgid := h.HP.GlobalID(local.Dst(e))
+					if dgid != gid && state.Read(dgid) == misUndecided {
+						state.Reduce(tid, dgid, misOut)
+					}
+				}
 			}
-		})
-		state.ReduceSync()
-		state.BroadcastSync()
+			h.TimeCompute(func() {
+				if mode == runtime.ModeAsync {
+					// Knockouts write neighbors' state while peers read it, so
+					// both sides go through the CAS handle. No re-enqueue:
+					// knocked-out vertices trigger no further knockouts.
+					sh := eng.ah
+					d := h.AsyncDrain(fr, misOpts, func(tid int, n graph.NodeID, _ *runtime.AsyncCtx) {
+						gid := h.HP.GlobalID(n)
+						if st, ok := sh.Load(gid); !ok || st != misIn {
+							return
+						}
+						lo, hi := local.EdgeRange(n)
+						for e := lo; e < hi; e++ {
+							dgid := h.HP.GlobalID(local.Dst(e))
+							if dgid == gid {
+								continue
+							}
+							if st, ok := sh.Load(dgid); ok && st == misUndecided {
+								sh.ReduceAsync(tid, dgid, misOut)
+							}
+						}
+					})
+					drain.Accumulate(d)
+				} else if fr != nil {
+					h.ParForActive(fr, koBody)
+				} else {
+					h.ParForNodes(koBody)
+				}
+			})
+			state.ReduceSync()
+			state.BroadcastSync()
+		}
 		if fr != nil {
 			eng.observe(mode, fr.Count(), fr.Size(), drain)
 		}
@@ -283,7 +378,8 @@ func MIS(h *runtime.Host, cfg Config, out []bool) MISStats {
 			})
 		}
 		remaining.Sync(h.EP)
-		if remaining.Read() == 0 || stats.Rounds >= cfg.maxRounds() {
+		undecided = remaining.Read()
+		if undecided == 0 || stats.Rounds >= cfg.maxRounds() {
 			break
 		}
 	}

@@ -5,15 +5,23 @@
 // reorders the round. Likewise comm SendBuffered stages bytes that are
 // not on the wire until FlushSends, so a Recv (or a function return)
 // with staged sends pending deadlocks or drops the tail of the round.
-// Finally, per-node Frontier.Activate is only meaningful from a
-// dispatched operator closure — handed to a ParFor* dispatch or an
-// AsyncDrain/AsyncDrainBits entry point, or taking a *runtime.AsyncCtx
-// (only the drain scheduler constructs one, so such a body is dispatched
-// compute no matter how it reaches the drain) — or from a decode path
-// that owns the frontier (a FrontierSink); activation from sequential
-// driver code is almost always a missed ParForActive.
+// A pull round (npm.PullHandle.BeginPullRound) reads pinned mirrors in
+// place of remote requests, so it is only sound while the mirrors still
+// reflect the masters: a ReduceSync, InitSync, or earlier pull round
+// since the last BroadcastSync/PinMirrors leaves them stale, and the
+// runtime panics at BeginPullRound. The analyzer finds the misordering
+// statically for handles it can resolve (the `ph, ok := npm.Pull(m)`
+// idiom), on maps the function pins — an unpinned masters-only scratch
+// map never materializes mirrors, so freshness is moot there, exactly as
+// at run time. Finally, per-node Frontier.Activate is only meaningful
+// from a dispatched operator closure — handed to a ParFor* dispatch or
+// an AsyncDrain/AsyncDrainBits entry point, or taking a
+// *runtime.AsyncCtx (only the drain scheduler constructs one, so such a
+// body is dispatched compute no matter how it reaches the drain) — or
+// from a decode path that owns the frontier (a FrontierSink); activation
+// from sequential driver code is almost always a missed ParForActive.
 //
-// The first two rules run as a forward may-dataflow over each function's
+// The ordering rules run as a forward may-dataflow over each function's
 // CFG. Closures handed to the runtime's Time* sections are inlined (they
 // run synchronously, exactly once); closures handed to dispatch
 // primitives (ParFor*, par.Do/Static/Dynamic/PrefixSum) are scanned for
@@ -40,7 +48,7 @@ import (
 // Analyzer is the phaseorder check.
 var Analyzer = &framework.Analyzer{
 	Name: "phaseorder",
-	Doc:  "enforce BSP phase order: ReduceSync before Advance, FlushSends before Recv or return, Activate only from operators or decoders (§9)",
+	Doc:  "enforce BSP phase order: ReduceSync before Advance, FlushSends before Recv or return, BroadcastSync before a pull round on a pinned map, Activate only from operators or decoders (§9, §15)",
 	Run:  run,
 }
 
@@ -59,6 +67,8 @@ func run(pass *framework.Pass) error {
 				pass:     pass,
 				info:     pass.Pkg.Info,
 				lits:     namedLits(decl.Body),
+				pulls:    namedPulls(decl.Body, pass.Pkg.Info),
+				pinned:   pinnedMaps(decl.Body, pass.Pkg.Info),
 				reported: map[string]bool{},
 			}
 			c.analyzeBody(decl.Body, true)
@@ -87,10 +97,18 @@ type state struct {
 	// staged maps a sender receiver's source path to its first unflushed
 	// SendBuffered position.
 	staged map[string]token.Pos
+	// stale maps a Map receiver's source path to the position of the call
+	// that last made its mirrors stale (ReduceSync, InitSync, or a pull
+	// round) with no BroadcastSync/PinMirrors since.
+	stale map[string]token.Pos
 }
 
 func newState() state {
-	return state{reduces: map[string]token.Pos{}, staged: map[string]token.Pos{}}
+	return state{
+		reduces: map[string]token.Pos{},
+		staged:  map[string]token.Pos{},
+		stale:   map[string]token.Pos{},
+	}
 }
 
 func cloneState(s state) state {
@@ -100,6 +118,9 @@ func cloneState(s state) state {
 	}
 	for k, v := range s.staged {
 		out.staged[k] = v
+	}
+	for k, v := range s.stale {
+		out.stale[k] = v
 	}
 	return out
 }
@@ -118,6 +139,12 @@ func joinState(dst, src state) (state, bool) {
 			changed = true
 		}
 	}
+	for k, v := range src.stale {
+		if _, ok := dst.stale[k]; !ok {
+			dst.stale[k] = v
+			changed = true
+		}
+	}
 	return dst, changed
 }
 
@@ -126,7 +153,15 @@ type checker struct {
 	info *types.Info
 	// lits resolves closure-valued locals (body := func(...){...}) so a
 	// dispatch by name — h.ParForActive(fr, body) — scans the right body.
-	lits      map[string]*ast.FuncLit
+	lits map[string]*ast.FuncLit
+	// pulls resolves pull-handle locals (ph, ok := npm.Pull(m)) to the
+	// source path of the map they pull from.
+	pulls map[string]string
+	// pinned holds the map source paths this function calls PinMirrors on.
+	// The stale-mirror rule only fires for them: an unpinned masters-only
+	// scratch map has no mirrors to be stale (the runtime check is gated
+	// the same way).
+	pinned    map[string]bool
 	reporting bool
 	reported  map[string]bool
 }
@@ -219,6 +254,47 @@ func (c *checker) applyCall(s state, call *ast.CallExpr, ordered bool) {
 			}
 			if k, ok := recvKey(call); ok {
 				delete(s.reduces, k)
+				// The reduce rewrites masters without refreshing mirrors.
+				if _, pending := s.stale[k]; !pending {
+					s.stale[k] = call.Pos()
+				}
+			}
+		case "InitSync":
+			if !ordered {
+				return
+			}
+			if k, ok := recvKey(call); ok {
+				if _, pending := s.stale[k]; !pending {
+					s.stale[k] = call.Pos()
+				}
+			}
+		case "BroadcastSync", "PinMirrors":
+			if !ordered {
+				return
+			}
+			if k, ok := recvKey(call); ok {
+				delete(s.stale, k)
+			}
+		case "BeginPullRound":
+			if !ordered {
+				return
+			}
+			k, ok := recvKey(call)
+			if !ok {
+				return
+			}
+			mk, known := c.pulls[k]
+			if !known {
+				return // handle from a field or parameter: out of view
+			}
+			if pos, isStale := s.stale[mk]; isStale && c.pinned[mk] {
+				c.reportf("pull", pos, call.Pos(),
+					"pull round on %s with stale mirrors (made stale at %s, no BroadcastSync since); broadcast before pulling — the pull reads pinned mirrors in place of remote requests",
+					mk, c.pass.Fset().Position(pos))
+			}
+			// The round itself moves masters ahead of the mirrors.
+			if _, pending := s.stale[mk]; !pending {
+				s.stale[mk] = call.Pos()
 			}
 		}
 	case strings.HasSuffix(pkg, "internal/runtime"):
@@ -502,6 +578,60 @@ func namedLits(body *ast.BlockStmt) map[string]*ast.FuncLit {
 		return true
 	})
 	return lits
+}
+
+// namedPulls maps pull-handle locals to the source path of their map:
+// `ph, ok := npm.Pull(m)` yields {"ph": "m"}. Handles arriving through
+// fields or parameters stay unresolved, and their BeginPullRound calls
+// unchecked — the rule is best-effort by construction.
+func namedPulls(body *ast.BlockStmt, info *types.Info) map[string]string {
+	pulls := map[string]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Name() != "Pull" ||
+			!strings.HasSuffix(fn.Pkg().Path(), "internal/npm") {
+			return true
+		}
+		id, isID := as.Lhs[0].(*ast.Ident)
+		if !isID {
+			return true
+		}
+		if mk, ok := exprKey(call.Args[0]); ok {
+			pulls[id.Name] = mk
+		}
+		return true
+	})
+	return pulls
+}
+
+// pinnedMaps collects the receivers of npm PinMirrors calls anywhere in
+// the function: the maps whose mirror freshness is worth enforcing.
+func pinnedMaps(body *ast.BlockStmt, info *types.Info) map[string]bool {
+	pinned := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Name() != "PinMirrors" ||
+			!strings.HasSuffix(fn.Pkg().Path(), "internal/npm") {
+			return true
+		}
+		if k, ok := recvKey(call); ok {
+			pinned[k] = true
+		}
+		return true
+	})
+	return pinned
 }
 
 // recvKey renders the receiver of a method call as a source path.

@@ -129,6 +129,128 @@ func activateBesideDrain(h *runtime.Host, fr *runtime.Frontier, ids []int) {
 	}
 }
 
+// pullAfterReduceSync is the stale-mirror misordering: the reduce moved
+// the masters, the mirrors still hold the pre-round values, and the pull
+// reads them in place of remote requests.
+func pullAfterReduceSync(m npm.Map[uint32], n graph.NodeID) {
+	m.PinMirrors()
+	m.Reduce(0, n, 1)
+	m.ReduceSync()
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return
+	}
+	ph.BeginPullRound() // want `pull round on m with stale mirrors`
+	ph.EndPullRound()
+}
+
+// pullAfterBroadcast is the sanctioned order: the broadcast refreshed the
+// mirrors after the reduce, so the round may pull.
+func pullAfterBroadcast(m npm.Map[uint32], n graph.NodeID) {
+	m.PinMirrors()
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return
+	}
+	m.Reduce(0, n, 1)
+	m.ReduceSync()
+	m.BroadcastSync()
+	ph.BeginPullRound()
+	ph.EndPullRound()
+	m.BroadcastSync()
+}
+
+// doublePullRound: the first pull round itself moves masters ahead of the
+// mirrors, so a second round needs a broadcast in between.
+func doublePullRound(m npm.Map[uint32]) {
+	m.PinMirrors()
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return
+	}
+	ph.BeginPullRound()
+	ph.EndPullRound()
+	ph.BeginPullRound() // want `pull round on m with stale mirrors`
+	ph.EndPullRound()
+	m.BroadcastSync()
+}
+
+// pullAfterInitSync: initialization publishes masters without refreshing
+// pinned mirrors, so it stales them like a reduce does.
+func pullAfterInitSync(m npm.Map[uint32], n graph.NodeID) {
+	m.PinMirrors()
+	m.Set(n, 1)
+	m.InitSync()
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return
+	}
+	ph.BeginPullRound() // want `pull round on m with stale mirrors`
+	ph.EndPullRound()
+}
+
+// pullUnpinnedScratch: a masters-only scratch map (the MIS minNbr idiom)
+// is never pinned, so there are no mirrors to be stale and the rule stays
+// quiet — matching the runtime, which only panics on pinned maps.
+func pullUnpinnedScratch(m npm.Map[uint32], n graph.NodeID) {
+	m.Set(n, 1)
+	m.InitSync()
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return
+	}
+	ph.BeginPullRound()
+	ph.EndPullRound()
+}
+
+// adaptiveDirectionLoop is the real mixed-direction round shape: whichever
+// branch runs, the round ends with a broadcast, so every BeginPullRound —
+// including across the loop back-edge — sees fresh mirrors.
+func adaptiveDirectionLoop(h *runtime.Host, m npm.Map[uint32], fr *runtime.Frontier, pull bool) {
+	m.PinMirrors()
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return
+	}
+	for i := 0; i < 4; i++ {
+		if pull {
+			ph.BeginPullRound()
+			ph.EndPullRound()
+		} else {
+			h.ParForActive(fr, func(tid int, src graph.NodeID) {
+				m.Reduce(tid, src, 1)
+			})
+			m.ReduceSync()
+		}
+		m.BroadcastSync()
+		fr.Advance()
+	}
+}
+
+// pullSkippedBroadcastInLoop leaves the broadcast on only one branch: the
+// may-analysis carries the pull branch's staleness around the back-edge
+// to the next iteration's BeginPullRound.
+func pullSkippedBroadcastInLoop(h *runtime.Host, m npm.Map[uint32], fr *runtime.Frontier, pull bool) {
+	m.PinMirrors()
+	ph, ok := npm.Pull(m)
+	if !ok {
+		return
+	}
+	for i := 0; i < 4; i++ {
+		if pull {
+			ph.BeginPullRound() // want `pull round on m with stale mirrors`
+			ph.EndPullRound()
+		} else {
+			h.ParForActive(fr, func(tid int, src graph.NodeID) {
+				m.Reduce(tid, src, 1)
+			})
+			m.ReduceSync()
+			m.BroadcastSync()
+		}
+		fr.Advance()
+	}
+}
+
 // decoder owns a frontier (it has SetFrontier): the decode side may
 // activate nodes as remote deltas arrive.
 type decoder struct{ fr *runtime.Frontier }

@@ -13,6 +13,7 @@ import (
 	"kimbap/internal/gen"
 	"kimbap/internal/graph"
 	"kimbap/internal/npm"
+	"kimbap/internal/partition"
 	"kimbap/internal/runtime"
 )
 
@@ -58,6 +59,11 @@ type PerfRecord struct {
 	// every host agreed, "mixed" when the adaptive controllers diverged
 	// (mode is a host-local decision; the collectives meet either way).
 	RoundMode []string `json:"round_mode,omitempty"`
+	// RoundDir is the traversal direction per round: "push" or "pull".
+	// Direction is a globally-coordinated decision (a pull round elides the
+	// reduce collective, so the hosts must agree on the sequence); "mixed"
+	// would indicate a coordination bug and is folded defensively.
+	RoundDir []string `json:"round_dir,omitempty"`
 }
 
 // perfFile is the on-disk shape of BENCH_kimbap.json.
@@ -102,6 +108,16 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 		c.ccModePerf("cc_sv_async", 1, algorithms.ExecAsync),
 		c.ccModePerf("cc_sv_adaptive", 1, algorithms.ExecAdaptive),
 		c.ccModePerf("cc_sv_adaptive", 4, algorithms.ExecAdaptive),
+		// Direction trio (§15) on the standard R-MAT under the pull-complete
+		// IEC partition, dense rounds: the push baseline, static pull (every
+		// hook round bottom-up over the in-edge CSR, broadcast-only round
+		// ends — its round_reduce_bytes column is all zeros), and the
+		// globally-reduced adaptive rule. The live gate
+		// (perf_regression_test.go TestDirectionGate) holds pull under the
+		// push wall and adaptive near the best static direction.
+		c.ccDirPerf("cc_sv_push", 4, algorithms.DirPush),
+		c.ccDirPerf("cc_sv_pull", 4, algorithms.DirPull),
+		c.ccDirPerf("cc_sv_direction_adaptive", 4, algorithms.DirAdaptive),
 		c.misPerf("mis_full", 1, algorithms.ExecBSP),
 		c.misPerf("mis_async", 1, algorithms.ExecAsync),
 	}
@@ -145,7 +161,7 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 	bt.Fprint(w)
 
 	rt := NewTable("Per-round activity (cluster-wide)",
-		"name", "hosts", "round", "kind", "mode", "active", "reduce bytes")
+		"name", "hosts", "round", "kind", "mode", "dir", "active", "reduce bytes")
 	for _, r := range records {
 		for i := range r.RoundActive {
 			kind := "shortcut"
@@ -156,7 +172,11 @@ func (c Config) PerfTo(w io.Writer, jsonPath string) error {
 			if i < len(r.RoundMode) {
 				mode = r.RoundMode[i]
 			}
-			rt.Row(r.Name, r.Hosts, i, kind, mode, r.RoundActive[i], r.RoundReduceBytes[i])
+			dir := "push"
+			if i < len(r.RoundDir) {
+				dir = r.RoundDir[i]
+			}
+			rt.Row(r.Name, r.Hosts, i, kind, mode, dir, r.RoundActive[i], r.RoundReduceBytes[i])
 		}
 	}
 	rt.Fprint(w)
@@ -307,7 +327,7 @@ func (c Config) syncPerfWire(name string, variant npm.Variant, hosts int, pin bo
 // dense or frontier-driven, and records the per-round activity log.
 func (c Config) ccPerf(name string, variant npm.Variant, hosts int, dense bool) PerfRecord {
 	g, _ := c.perfGraph()
-	return c.ccPerfOn(name, g, variant, hosts, dense, algorithms.ExecBSP, "")
+	return c.ccPerfOn(name, g, variant, hosts, dense, algorithms.ExecBSP, "", "", "")
 }
 
 // localityGraph is the reorder ablation's input: big enough that the
@@ -327,7 +347,7 @@ func (c Config) localityGraph() *graph.Graph {
 // the record isolates the steady-state locality effect, while the reorder
 // pass's own cost is gated separately against the stream build.
 func (c Config) ccReorderPerf(name string, hosts int, pol graph.ReorderPolicy) PerfRecord {
-	return c.ccPerfOn(name, c.localityGraph(), npm.Full, hosts, true, algorithms.ExecBSP, pol)
+	return c.ccPerfOn(name, c.localityGraph(), npm.Full, hosts, true, algorithms.ExecBSP, pol, "", "")
 }
 
 // chainGraph is the skewed-convergence workload for the execution-mode
@@ -343,17 +363,26 @@ func (c Config) chainGraph() *graph.Graph {
 
 // ccModePerf measures CC-SV on the chain workload under one execution mode.
 func (c Config) ccModePerf(name string, hosts int, mode algorithms.Mode) PerfRecord {
-	return c.ccPerfOn(name, c.chainGraph(), npm.Full, hosts, false, mode, "")
+	return c.ccPerfOn(name, c.chainGraph(), npm.Full, hosts, false, mode, "", "", "")
+}
+
+// ccDirPerf measures dense CC-SV on the standard R-MAT under one traversal
+// direction. The partition is IEC — the pull-complete policy — so pull is
+// actually exercised rather than silently falling back to push.
+func (c Config) ccDirPerf(name string, hosts int, dir algorithms.Direction) PerfRecord {
+	g, _ := c.perfGraph()
+	return c.ccPerfOn(name, g, npm.Full, hosts, true, algorithms.ExecBSP, "", dir, partition.IEC)
 }
 
 func (c Config) ccPerfOn(name string, g *graph.Graph, variant npm.Variant, hosts int,
-	dense bool, mode algorithms.Mode, reorder graph.ReorderPolicy) PerfRecord {
+	dense bool, mode algorithms.Mode, reorder graph.ReorderPolicy,
+	dir algorithms.Direction, pol partition.Policy) PerfRecord {
 
 	rec := PerfRecord{Name: name, Hosts: hosts, Threads: c.Threads}
 	best := time.Duration(-1)
 	for rep := 0; rep < c.Reps; rep++ {
 		cluster, err := runtime.NewCluster(g, runtime.Config{
-			NumHosts: hosts, ThreadsPerHost: c.Threads, Reorder: reorder,
+			NumHosts: hosts, ThreadsPerHost: c.Threads, Reorder: reorder, Policy: pol,
 		})
 		if err != nil {
 			panic(err)
@@ -365,8 +394,9 @@ func (c Config) ccPerfOn(name string, g *graph.Graph, variant npm.Variant, hosts
 		gort.ReadMemStats(&ms0)
 		start := time.Now()
 		cluster.Run(func(h *runtime.Host) {
-			perHost[h.Rank] = algorithms.CCSV(h,
-				algorithms.Config{Variant: variant, Dense: dense, LogRounds: true, Mode: mode}, out)
+			perHost[h.Rank] = algorithms.CCSV(h, algorithms.Config{
+				Variant: variant, Dense: dense, LogRounds: true, Mode: mode, Direction: dir,
+			}, out)
 		})
 		wall := time.Since(start)
 		gort.ReadMemStats(&ms1)
@@ -387,7 +417,7 @@ func (c Config) ccPerfOn(name string, g *graph.Graph, variant npm.Variant, hosts
 			for i, st := range perHost {
 				logs[i] = st.PerRound
 			}
-			rec.RoundActive, rec.RoundReduceBytes, rec.RoundHook, rec.RoundMode = sumRounds(logs)
+			rec.RoundActive, rec.RoundReduceBytes, rec.RoundHook, rec.RoundMode, rec.RoundDir = sumRounds(logs)
 		}
 	}
 	return rec
@@ -438,8 +468,10 @@ func (c Config) misPerf(name string, hosts int, mode algorithms.Mode) PerfRecord
 // sumRounds folds the per-host round logs into cluster-wide totals.
 // Rounds are collective, so every host logs the same sequence length; the
 // execution mode is host-local, so a round reports "mixed" when adaptive
-// controllers diverged across hosts.
-func sumRounds(perHost []algorithms.RoundStats) (active, bytes []int64, hook []bool, mode []string) {
+// controllers diverged across hosts. Direction is globally coordinated —
+// "mixed" there would be a coordination bug — but it is folded the same
+// defensive way rather than trusting host 0.
+func sumRounds(perHost []algorithms.RoundStats) (active, bytes []int64, hook []bool, mode, dir []string) {
 	rounds := len(perHost[0].Active)
 	active = make([]int64, rounds)
 	bytes = make([]int64, rounds)
@@ -449,16 +481,21 @@ func sumRounds(perHost []algorithms.RoundStats) (active, bytes []int64, hook []b
 			bytes[r] += st.ReduceBytes[r]
 		}
 	}
-	mode = make([]string, 0, rounds)
-	for r := 0; r < rounds; r++ {
-		m := perHost[0].Mode[r]
-		for _, st := range perHost[1:] {
-			if st.Mode[r] != m {
-				m = "mixed"
-				break
+	fold := func(col func(algorithms.RoundStats) []string) []string {
+		out := make([]string, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			v := col(perHost[0])[r]
+			for _, st := range perHost[1:] {
+				if col(st)[r] != v {
+					v = "mixed"
+					break
+				}
 			}
+			out = append(out, v)
 		}
-		mode = append(mode, m)
+		return out
 	}
-	return active, bytes, perHost[0].Hook, mode
+	mode = fold(func(st algorithms.RoundStats) []string { return st.Mode })
+	dir = fold(func(st algorithms.RoundStats) []string { return st.Dir })
+	return active, bytes, perHost[0].Hook, mode, dir
 }

@@ -103,6 +103,55 @@ func TestAdaptiveModeGate(t *testing.T) {
 	}
 }
 
+// TestDirectionGate holds the §15 direction optimization to a real win,
+// all three directions measured live in this process on the full-scale
+// perf R-MAT (dense rounds, 4 hosts x 4 threads, pull-complete IEC
+// partition). Three claims: a static pull run must finish within 90% of
+// the static push wall — the dense hook rounds drop the reduce collective
+// and its thread-local delta maps entirely, which measures well under
+// that on this workload; the globally-reduced adaptive rule must track
+// the best static direction within 5% (on an all-dense workload it should
+// simply lock onto pull after the first telemetry reduce); and every pull
+// round's reduce-byte count must be exactly zero — the broadcast-only
+// round end is a structural claim, not a statistical one.
+func TestDirectionGate(t *testing.T) {
+	cfg := Config{Scale: Full, Threads: 4, Reps: 3}
+	push := cfg.ccDirPerf("cc_sv_push", 4, algorithms.DirPush)
+	pull := cfg.ccDirPerf("cc_sv_pull", 4, algorithms.DirPull)
+	adaptive := cfg.ccDirPerf("cc_sv_direction_adaptive", 4, algorithms.DirAdaptive)
+	if push.WallNsPerOp == 0 || pull.WallNsPerOp == 0 {
+		t.Fatal("static direction measured zero wall time; gate workload is broken")
+	}
+	pullRounds := 0
+	for i, d := range pull.RoundDir {
+		if d != "pull" {
+			continue
+		}
+		pullRounds++
+		if b := pull.RoundReduceBytes[i]; b != 0 {
+			t.Errorf("pull round %d sent %d reduce bytes; pull rounds are broadcast-only", i, b)
+		}
+	}
+	if pullRounds == 0 {
+		t.Fatalf("static pull run recorded no pull rounds (dirs %v); gate workload is broken",
+			pull.RoundDir)
+	}
+	t.Logf("dense CC-SV 4h/4t IEC: push=%.2fms pull=%.2fms adaptive=%.2fms (%d pull rounds)",
+		push.WallNsPerOp/1e6, pull.WallNsPerOp/1e6, adaptive.WallNsPerOp/1e6, pullRounds)
+	if limit := push.WallNsPerOp * 0.9; pull.WallNsPerOp > limit {
+		t.Errorf("pull = %.2fms, above 90%% of the push wall %.2fms (limit %.2fms)",
+			pull.WallNsPerOp/1e6, push.WallNsPerOp/1e6, limit/1e6)
+	}
+	bestStatic := push.WallNsPerOp
+	if pull.WallNsPerOp < bestStatic {
+		bestStatic = pull.WallNsPerOp
+	}
+	if limit := bestStatic * 1.05; adaptive.WallNsPerOp > limit {
+		t.Errorf("adaptive = %.2fms, above 105%% of best static %.2fms (limit %.2fms)",
+			adaptive.WallNsPerOp/1e6, bestStatic/1e6, limit/1e6)
+	}
+}
+
 // TestStreamIngestGate holds the out-of-core build to its memory and wall
 // contracts on the full-scale friendster analogue, both sides measured
 // live in this process. Memory: the streaming two-scan build's allocation

@@ -116,6 +116,7 @@ type BlockSource interface {
 type StreamBuilder struct {
 	src     BlockSource
 	workers int
+	inCSR   bool
 }
 
 // NewStreamBuilder returns a StreamBuilder over src.
@@ -127,6 +128,16 @@ func NewStreamBuilder(src BlockSource) *StreamBuilder {
 // bit-identical at every setting.
 func (sb *StreamBuilder) SetWorkers(w int) *StreamBuilder {
 	sb.workers = w
+	return sb
+}
+
+// WithInCSR requests the fused transpose emission: pass 1 counts both
+// degree arrays and pass 2 scatters both columns, so the built graph
+// carries its in-edge CSR without a separate EnsureInCSR pass over the
+// CSR. The transpose is bit-identical to Transpose of the built graph
+// (and, under BuildReordered, to Transpose of the permuted graph).
+func (sb *StreamBuilder) WithInCSR(on bool) *StreamBuilder {
+	sb.inCSR = on
 	return sb
 }
 
@@ -183,13 +194,25 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 		if weighted {
 			g.weights = []float64{}
 		}
+		if sb.inCSR {
+			var iw []float64
+			if weighted {
+				iw = []float64{}
+			}
+			g.adoptInCSR(make([]int64, n+1), []NodeID{}, iw)
+		}
 		return g, nil
 	}
 
 	// Pass 1: per-worker degree counts over static block ranges, with the
 	// only full-edge validation pass (pass 2 trusts it and only re-checks
-	// totals).
+	// totals). With the fused transpose enabled the same scan counts the
+	// in-degree matrix too.
 	cnt := getCounts(workers * n)
+	var icnt []int64
+	if sb.inCSR {
+		icnt = getCounts(workers * n)
+	}
 	pass1 := make([]int64, workers) // edges seen, for the cross-scan check
 	count := func(w int, blk *EdgeBlock) error {
 		c := cnt[w*n : (w+1)*n]
@@ -200,6 +223,12 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 			}
 			c[s]++
 		}
+		if icnt != nil {
+			ic := icnt[w*n : (w+1)*n]
+			for _, d := range blk.Dsts {
+				ic[d]++
+			}
+		}
 		// Empty blocks carry no weight-column information: a text shard
 		// holding only comments leaves a pooled block's nil Weights slice
 		// nil even for a weighted source ([:0] of nil is nil).
@@ -209,9 +238,17 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 		pass1[w] += int64(blk.Len())
 		return nil
 	}
-	par.Do(workers, func(w int) { clear(cnt[w*n : (w+1)*n]) })
+	par.Do(workers, func(w int) {
+		clear(cnt[w*n : (w+1)*n])
+		if icnt != nil {
+			clear(icnt[w*n : (w+1)*n])
+		}
+	})
 	if err := sb.scan(workers, count); err != nil {
 		putCounts(cnt)
+		if icnt != nil {
+			putCounts(icnt)
+		}
 		return nil, err
 	}
 	mergeCounts(workers, n, cnt, g.offsets)
@@ -220,6 +257,14 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 	g.dsts = make([]NodeID, m)
 	if weighted {
 		g.weights = make([]float64, m)
+	}
+	if icnt != nil {
+		g.inOffsets = make([]int64, n+1)
+		mergeCounts(workers, n, icnt, g.inOffsets)
+		g.inSrcs = make([]NodeID, m)
+		if weighted {
+			g.inWeights = make([]float64, m)
+		}
 	}
 
 	// Pass 2: conflict-free scatter straight into the final arrays. Every
@@ -239,9 +284,12 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 		// with an error, not an index panic. (Equal-count content drift
 		// still yields a wrong graph — nothing can rebuild trust in a file
 		// changing underfoot — but never a crash or out-of-bounds write.)
-		for _, s := range blk.Srcs {
-			if int(s) >= n {
-				return fmt.Errorf("graph: source changed between scans (src %d out of range)", s)
+		// The fused transpose indexes its cursor rows by destination, so
+		// those need the same re-check.
+		for i, s := range blk.Srcs {
+			if int(s) >= n || (icnt != nil && int(blk.Dsts[i]) >= n) {
+				return fmt.Errorf("graph: source changed between scans (edge %d->%d out of range)",
+					s, blk.Dsts[i])
 			}
 		}
 		if blk.Weights != nil {
@@ -264,11 +312,28 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 				g.dsts[at] = blk.Dsts[i]
 			}
 		}
+		if icnt != nil {
+			ic := icnt[w*n : (w+1)*n]
+			for i, d := range blk.Dsts {
+				at := ic[d]
+				if at >= m {
+					return fmt.Errorf("graph: source changed between scans (cursor overflow at dst %d)", d)
+				}
+				ic[d] = at + 1
+				g.inSrcs[at] = blk.Srcs[i]
+				if g.inWeights != nil {
+					g.inWeights[at] = blk.Weights[i]
+				}
+			}
+		}
 		return nil
 	}
 	//kimbap:conflictfree
 	err := sb.scan(workers, scatter)
 	putCounts(cnt)
+	if icnt != nil {
+		putCounts(icnt)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +344,10 @@ func (sb *StreamBuilder) Build() (*Graph, error) {
 		}
 	}
 	sortAdjacency(g, workers)
+	if g.inOffsets != nil {
+		sortInAdjacency(g, workers)
+		g.adoptInCSR(g.inOffsets, g.inSrcs, g.inWeights)
+	}
 	return g, nil
 }
 
@@ -327,12 +396,25 @@ func (sb *StreamBuilder) BuildReordered(policy ReorderPolicy, blocks int) (*Grap
 		if weighted {
 			g.weights = []float64{}
 		}
+		if sb.inCSR {
+			var iw []float64
+			if weighted {
+				iw = []float64{}
+			}
+			g.adoptInCSR(make([]int64, n+1), []NodeID{}, iw)
+		}
 		ro := computeReordering(n, 0, func(int) int64 { return 0 }, policy, blocks, workers)
 		return g, ro, nil
 	}
 
-	// Pass 1: identical to Build's counting scan.
+	// Pass 1: identical to Build's counting scan (including the fused
+	// in-degree matrix, keyed by the original destination — the
+	// permutation does not exist yet during pass 1).
 	cnt := getCounts(workers * n)
+	var icnt []int64
+	if sb.inCSR {
+		icnt = getCounts(workers * n)
+	}
 	pass1 := make([]int64, workers)
 	count := func(w int, blk *EdgeBlock) error {
 		c := cnt[w*n : (w+1)*n]
@@ -343,6 +425,12 @@ func (sb *StreamBuilder) BuildReordered(policy ReorderPolicy, blocks int) (*Grap
 			}
 			c[s]++
 		}
+		if icnt != nil {
+			ic := icnt[w*n : (w+1)*n]
+			for _, d := range blk.Dsts {
+				ic[d]++
+			}
+		}
 		// Empty blocks carry no weight-column information (see Build).
 		if blk.Len() > 0 && weighted != (blk.Weights != nil) {
 			return fmt.Errorf("graph: block weight column mismatch (source says weighted=%v)", weighted)
@@ -350,9 +438,17 @@ func (sb *StreamBuilder) BuildReordered(policy ReorderPolicy, blocks int) (*Grap
 		pass1[w] += int64(blk.Len())
 		return nil
 	}
-	par.Do(workers, func(w int) { clear(cnt[w*n : (w+1)*n]) })
+	par.Do(workers, func(w int) {
+		clear(cnt[w*n : (w+1)*n])
+		if icnt != nil {
+			clear(icnt[w*n : (w+1)*n])
+		}
+	})
 	if err := sb.scan(workers, count); err != nil {
 		putCounts(cnt)
+		if icnt != nil {
+			putCounts(icnt)
+		}
 		return nil, nil, err
 	}
 
@@ -376,6 +472,16 @@ func (sb *StreamBuilder) BuildReordered(policy ReorderPolicy, blocks int) (*Grap
 	g.dsts = make([]NodeID, m)
 	if weighted {
 		g.weights = make([]float64, m)
+	}
+	if icnt != nil {
+		// The transpose of the permuted CSR: in-degree of perm[d] is the
+		// count keyed by original d, so the same permuted merge applies.
+		g.inOffsets = make([]int64, n+1)
+		mergeCountsPermuted(workers, n, icnt, g.inOffsets, perm)
+		g.inSrcs = make([]NodeID, m)
+		if weighted {
+			g.inWeights = make([]float64, m)
+		}
 	}
 
 	// Pass 2: the same conflict-free cursor scatter as Build, with both
@@ -418,11 +524,28 @@ func (sb *StreamBuilder) BuildReordered(policy ReorderPolicy, blocks int) (*Grap
 				g.dsts[at] = perm[blk.Dsts[i]]
 			}
 		}
+		if icnt != nil {
+			ic := icnt[w*n : (w+1)*n]
+			for i, d := range blk.Dsts {
+				at := ic[d]
+				if at >= m {
+					return fmt.Errorf("graph: source changed between scans (cursor overflow at dst %d)", d)
+				}
+				ic[d] = at + 1
+				g.inSrcs[at] = perm[blk.Srcs[i]]
+				if g.inWeights != nil {
+					g.inWeights[at] = blk.Weights[i]
+				}
+			}
+		}
 		return nil
 	}
 	//kimbap:conflictfree
 	err := sb.scan(workers, scatter)
 	putCounts(cnt)
+	if icnt != nil {
+		putCounts(icnt)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -433,5 +556,9 @@ func (sb *StreamBuilder) BuildReordered(policy ReorderPolicy, blocks int) (*Grap
 		}
 	}
 	sortAdjacency(g, workers)
+	if g.inOffsets != nil {
+		sortInAdjacency(g, workers)
+		g.adoptInCSR(g.inOffsets, g.inSrcs, g.inWeights)
+	}
 	return g, ro, nil
 }

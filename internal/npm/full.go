@@ -45,6 +45,16 @@ type fullMap[V comparable] struct {
 	pinned  bool
 	mirrors []V // indexed by (local - NumMasters) when pinned
 
+	// Pull-round state (see pull.go). mirrorsFresh tracks whether pinned
+	// mirrors reflect the current master values — true right after a
+	// broadcast, false once ReduceSync (or a pull round itself) changes
+	// masters behind them. It is read and written only at phase
+	// boundaries on the program goroutine, never from operator threads.
+	// pullSnap is the reusable round-start snapshot of the master vector
+	// that gives pull rounds Jacobi semantics regardless of scan order.
+	mirrorsFresh bool
+	pullSnap     []V
+
 	// Async apply-path state (see async.go), allocated when an
 	// AsyncNodeHandle attaches. mirrorDirty marks pinned mirrors whose
 	// value a drain changed in place; ReduceSync flushes them to their
@@ -243,8 +253,9 @@ func (m *fullMap[V]) Set(n graph.NodeID, v V) {
 }
 
 // InitSync implements Map. GAR sets master values in place, so there is
-// nothing to publish.
-func (m *fullMap[V]) InitSync() {}
+// nothing to publish — but masters may now differ from any pinned mirrors,
+// so a pull round needs a broadcast first.
+func (m *fullMap[V]) InitSync() { m.mirrorsFresh = false }
 
 // Request implements Map.
 func (m *fullMap[V]) Request(n graph.NodeID) {
@@ -527,6 +538,10 @@ func (m *fullMap[V]) ReduceSync() {
 		}
 		m.cacheKeys = nil
 		m.cacheVals = nil
+
+		// Masters just moved; pinned mirrors no longer reflect them until
+		// the next broadcast, so pull rounds are off the table (pull.go).
+		m.mirrorsFresh = false
 	})
 }
 
@@ -779,6 +794,10 @@ func (m *fullMap[V]) broadcast(full bool) {
 				}
 			}
 		}
+
+		// Every host just pushed its dirty masters to all mirror holders:
+		// mirrors now reflect masters, the precondition pull rounds check.
+		m.mirrorsFresh = true
 	})
 }
 

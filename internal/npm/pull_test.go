@@ -1,0 +1,180 @@
+package npm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kimbap/internal/gen"
+	"kimbap/internal/graph"
+	"kimbap/internal/partition"
+	"kimbap/internal/runtime"
+)
+
+// One min-over-in-neighbors round executed both ways: push scatters every
+// local out-edge through Reduce/ReduceSync, pull scans each master's
+// in-edges through the handle. The resulting property vectors must be
+// bit-identical everywhere — including on a chain, where a pull body that
+// read live masters instead of the round-start snapshot would collapse
+// the whole chain in one round (Gauss-Seidel) while push advances one
+// hop (Jacobi).
+func TestPullRoundMatchesPush(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid":  gen.Grid(8, 7, false, 1),
+		"chain": gen.Chain(40, false, 1),
+	}
+	for name, g := range graphs {
+		for _, hosts := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/hosts=%d", name, hosts), func(t *testing.T) {
+				c, err := runtime.NewCluster(g, runtime.Config{
+					NumHosts: hosts, ThreadsPerHost: 4, Policy: partition.IEC,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				c.Run(func(h *runtime.Host) {
+					if !h.HP.PullEdgesComplete() {
+						t.Errorf("host %d: IEC partition not pull-complete", h.Rank)
+						return
+					}
+					h.HP.EnsureLocalInCSR(h.Threads)
+
+					push := newMapForHost(h, Full, nil)
+					pull := newMapForHost(h, Full, nil)
+					initIdentity(h, push)
+					initIdentity(h, pull)
+					push.PinMirrors()
+					pull.PinMirrors()
+
+					// Push round: every local proxy scatters its value along
+					// its local out-edges.
+					lg := h.HP.Local
+					h.ParForNodes(func(tid int, u graph.NodeID) {
+						v := push.Read(h.HP.GlobalID(u))
+						lo, hi := lg.EdgeRange(u)
+						for e := lo; e < hi; e++ {
+							push.Reduce(tid, h.HP.GlobalID(lg.Dst(e)), v)
+						}
+					})
+					push.ReduceSync()
+					push.BroadcastSync()
+
+					// Pull round: every master folds its in-neighbors' values
+					// into its own slot; no reduce collective at all.
+					ph, ok := Pull(pull)
+					if !ok {
+						t.Errorf("host %d: Pull refused the full map", h.Rank)
+						return
+					}
+					ph.BeginPullRound()
+					h.ParForPull(func(_ int, master graph.NodeID) {
+						lo, hi := lg.InEdgeRange(master)
+						for e := lo; e < hi; e++ {
+							ph.Apply(master, ph.Value(lg.InSrc(e)))
+						}
+					})
+					ph.EndPullRound()
+					pull.BroadcastSync()
+
+					for l := 0; l < h.HP.NumLocal(); l++ {
+						gid := h.HP.GlobalID(graph.NodeID(l))
+						if p, q := push.Read(gid), pull.Read(gid); p != q {
+							t.Errorf("host %d: node %d push=%d pull=%d", h.Rank, gid, p, q)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// A pull round whose pinned mirrors have been invalidated by a ReduceSync
+// (no broadcast in between) must panic rather than read stale values.
+func TestPullStaleMirrorsPanics(t *testing.T) {
+	g := gen.Grid(4, 4, false, 1)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "stale mirrors") {
+			t.Fatalf("expected stale-mirrors panic, got %v", r)
+		}
+	}()
+	runVariant(t, g, 1, Full, func(h *runtime.Host, m Map[graph.NodeID]) {
+		initIdentity(h, m)
+		m.PinMirrors()
+		m.Reduce(0, 3, 0)
+		m.ReduceSync()
+		ph, _ := Pull(m)
+		ph.BeginPullRound()
+	})
+}
+
+// The freshness bit follows the collective sequence: set by broadcasts,
+// cleared by ReduceSync, InitSync, and by the pull round itself.
+func TestPullFreshnessTransitions(t *testing.T) {
+	g := gen.Grid(4, 4, false, 1)
+	runVariant(t, g, 1, Full, func(h *runtime.Host, m Map[graph.NodeID]) {
+		initIdentity(h, m)
+		m.PinMirrors()
+		ph, _ := Pull(m)
+		if !ph.MirrorsFresh() {
+			t.Error("PinMirrors broadcast did not mark mirrors fresh")
+		}
+		ph.BeginPullRound()
+		ph.EndPullRound()
+		if ph.MirrorsFresh() {
+			t.Error("pull round left mirrors marked fresh")
+		}
+		m.BroadcastSync()
+		if !ph.MirrorsFresh() {
+			t.Error("BroadcastSync did not restore freshness")
+		}
+		m.InitSync()
+		if ph.MirrorsFresh() {
+			t.Error("InitSync left mirrors marked fresh")
+		}
+	})
+}
+
+// Pull is a fullMap capability; the baseline variants refuse and callers
+// fall back to push.
+func TestPullRefusesBaselineVariants(t *testing.T) {
+	g := gen.Grid(4, 4, false, 1)
+	for _, v := range Variants {
+		if v == Full {
+			continue
+		}
+		runVariant(t, g, 1, v, func(h *runtime.Host, m Map[graph.NodeID]) {
+			if _, ok := Pull(m); ok {
+				t.Errorf("variant %s: Pull unexpectedly supported", v)
+			}
+		})
+	}
+}
+
+// The in-edge CSR and the pull snapshot are real memory the pull path
+// added; the footprint report must include both.
+func TestPullMemoryAccounted(t *testing.T) {
+	g := gen.Grid(8, 8, false, 1)
+	runVariant(t, g, 2, Full, func(h *runtime.Host, m Map[graph.NodeID]) {
+		initIdentity(h, m)
+		m.PinMirrors()
+		base := FootprintOf(m)
+
+		h.HP.EnsureLocalInCSR(h.Threads)
+		incsr := h.HP.InCSRFootprint()
+		if incsr <= 0 {
+			t.Errorf("host %d: InCSRFootprint = %d after EnsureLocalInCSR", h.Rank, incsr)
+		}
+		ph, _ := Pull(m)
+		ph.BeginPullRound()
+		ph.EndPullRound()
+
+		snap := int64(h.HP.NumMasters) * 4 // NodeID codec width
+		want := base + incsr + snap
+		if got := FootprintOf(m); got != want {
+			t.Errorf("host %d: footprint after pull setup = %d, want %d (base %d + incsr %d + snap %d)",
+				h.Rank, got, want, base, incsr, snap)
+		}
+	})
+}

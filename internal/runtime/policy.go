@@ -28,6 +28,27 @@ func (m ExecMode) String() string {
 	return "bsp"
 }
 
+// Direction selects how a dense-capable round traverses edges.
+type Direction uint8
+
+const (
+	// DirPush scatters along out-edges: active sources Reduce into
+	// arbitrary targets, buffered thread-locally and applied at the next
+	// ReduceSync.
+	DirPush Direction = iota
+	// DirPull iterates masters and scans in-neighbors serially per vertex,
+	// combining into the vertex's own master slot with plain stores — no
+	// atomics, no thread-local maps, and no ReduceSync for the round.
+	DirPull
+)
+
+func (d Direction) String() string {
+	if d == DirPull {
+		return "pull"
+	}
+	return "push"
+}
+
 // RoundTelemetry is one completed round's signal, fed to Adaptive.Observe.
 type RoundTelemetry struct {
 	Active       int // frontier count entering the round
@@ -52,6 +73,18 @@ const (
 	// net dense<->sparse representation flips.
 	divisorFlapThreshold = 3
 	maxDenseDivisor      = 64
+
+	// dirEdgeDivisor switches a round to pull when the frontier's active
+	// in-edge workload reaches 1/dirEdgeDivisor of all edges — the
+	// Beamer-style bottom-up trigger: at that density the push side would
+	// touch a comparable edge volume through contended hub reduces, while
+	// pull scans it with plain stores and skips the reduce collective.
+	dirEdgeDivisor = 20
+	// dirDenseDivisor keeps an already-pull phase in pull while the active
+	// master fraction stays above 1/dirDenseDivisor (hysteresis: the edge
+	// trigger decays faster than the win does on a shrinking but still
+	// broad frontier).
+	dirDenseDivisor = 20
 )
 
 // Adaptive is a per-host, per-phase policy controller. Create one at phase
@@ -67,6 +100,7 @@ type Adaptive struct {
 	prevDense  bool
 	prevValid  bool
 	flips      int
+	dir        Direction // last direction NextDirection returned
 }
 
 // NewAdaptive creates a controller for one algorithm phase on h.
@@ -147,3 +181,30 @@ func (a *Adaptive) Observe(t RoundTelemetry) {
 // Divisor returns the dense/sparse divisor the controller currently has
 // in effect (telemetry/testing).
 func (a *Adaptive) Divisor() int { return a.divisor }
+
+// NextDirection decides the coming dense-capable round's traversal
+// direction from globally-reduced telemetry: the number of active
+// masters, the total master count, the summed in-degree of the active
+// masters, and the total edge count.
+//
+// Unlike NextMode, direction is NOT a host-local choice: a pull round
+// issues a different collective sequence (no ReduceSync), so every host
+// must decide identically. Callers allreduce the telemetry first (the
+// algorithm engines use CountReducer.Sync); the rule itself is a pure
+// deterministic function of those global inputs plus the controller's
+// own previous decisions, which are in lockstep across hosts for the
+// same reason.
+func (a *Adaptive) NextDirection(activeMasters, totalMasters, activeInEdges, totalEdges int64) Direction {
+	if activeMasters == 0 || totalMasters == 0 || totalEdges == 0 {
+		a.dir = DirPush
+		return a.dir
+	}
+	heavy := activeInEdges*dirEdgeDivisor >= totalEdges
+	dense := activeMasters*dirDenseDivisor >= totalMasters
+	if heavy || (a.dir == DirPull && dense) {
+		a.dir = DirPull
+	} else {
+		a.dir = DirPush
+	}
+	return a.dir
+}
